@@ -1,0 +1,86 @@
+// Command accordbench regenerates the paper's tables and figures.
+//
+//	accordbench                      # run every experiment at full quality
+//	accordbench -experiment fig10    # one experiment
+//	accordbench -quick               # reduced scale for a fast look
+//	accordbench -list                # list experiment IDs
+//
+// Output is plain-text tables whose rows/series correspond to the paper's
+// artifacts; EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"accord/internal/exp"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment ID to run (default: all); see -list")
+		quick      = flag.Bool("quick", false, "reduced scale and duration")
+		scale      = flag.Int64("scale", 0, "override capacity scale divisor")
+		cores      = flag.Int("cores", 0, "override core count")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		markdown   = flag.Bool("md", false, "render tables as GitHub-flavored markdown")
+		verbose    = flag.Bool("v", false, "log each simulation as it completes")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-6s %-11s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	p := exp.DefaultParams()
+	if *quick {
+		p = exp.QuickParams()
+	}
+	if *scale > 0 {
+		p.Scale = *scale
+	}
+	if *cores > 0 {
+		p.Cores = *cores
+	}
+	p.Seed = *seed
+	if *verbose {
+		p.Progress = os.Stderr
+	}
+
+	var todo []exp.Experiment
+	if *experiment == "" {
+		todo = exp.All()
+	} else {
+		for _, id := range strings.Split(*experiment, ",") {
+			e, ok := exp.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	session := exp.NewSession(p)
+	fmt.Printf("# ACCORD reproduction — scale 1/%d, %d cores, seed %d\n\n",
+		p.Scale, p.Cores, p.Seed)
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Printf("## %s (%s): %s\n\n", e.ID, e.PaperRef, e.Title)
+		for _, tb := range e.Run(session) {
+			if *markdown {
+				fmt.Println(tb.RenderMarkdown())
+			} else {
+				fmt.Println(tb.Render())
+			}
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

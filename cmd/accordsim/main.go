@@ -1,0 +1,141 @@
+// Command accordsim runs a single simulation of the ACCORD system and
+// prints its statistics: hit rate, way-prediction accuracy, bandwidth
+// breakdown, per-core IPC, and energy.
+//
+// Examples:
+//
+//	accordsim -workload soplex -org accord -ways 2
+//	accordsim -workload mix1 -org parallel -ways 8 -scale 512
+//	accordsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"accord/internal/energy"
+	"accord/internal/sim"
+	"accord/internal/stats"
+	"accord/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "libquantum", "workload name (see -list)")
+		org      = flag.String("org", "accord", "organization: direct|parallel|serial|idealized|perfect|unbiased|pws|gws|accord|mru|partialtag|ca|lru")
+		ways     = flag.Int("ways", 2, "associativity for N-way organizations")
+		pip      = flag.Float64("pip", 0.85, "preferred-way install probability (pws)")
+		scale    = flag.Int64("scale", 256, "capacity scale divisor (1 = full 4 GB)")
+		cores    = flag.Int("cores", 16, "core count")
+		warmup   = flag.Int64("warmup", 4_000_000, "warmup instructions per core")
+		measure  = flag.Int64("measure", 4_000_000, "measured instructions per core")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		baseline = flag.Bool("baseline", false, "also run the direct-mapped baseline and report speedup")
+		trace    = flag.String("trace", "", "replay a trace file (see cmd/tracegen) instead of a named workload")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of a table")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("rate-mode workloads:")
+		fmt.Println("  " + strings.Join(workloads.Names(), " "))
+		fmt.Println("mixes: mix1 .. mix10")
+		return
+	}
+
+	cfg, err := sim.Named(*org, *ways, *pip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *trace != "" {
+		// Traces carry their own pacing; use the configured windows as-is.
+		cfg.DisableAdaptiveBudgets = true
+	}
+	cfg.Scale = *scale
+	cfg.Cores = *cores
+	cfg.WarmupInstr = *warmup
+	cfg.MeasureInstr = *measure
+	cfg.Seed = *seed
+
+	var wl workloads.Workload
+	var err2 error
+	if *trace != "" {
+		wl, err2 = loadTrace(*trace, cfg.Cores)
+	} else {
+		wl, err2 = workloads.Get(*workload, cfg.Cores)
+	}
+	if err2 != nil {
+		fmt.Fprintln(os.Stderr, err2)
+		os.Exit(2)
+	}
+
+	res := sim.New(cfg, wl).Run(wl.Name)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(cfg, res)
+
+	if *baseline {
+		base := sim.DirectMapped()
+		base.Scale, base.Cores = cfg.Scale, cfg.Cores
+		base.WarmupInstr, base.MeasureInstr, base.Seed = cfg.WarmupInstr, cfg.MeasureInstr, cfg.Seed
+		base.DisableAdaptiveBudgets = cfg.DisableAdaptiveBudgets
+		if *trace != "" {
+			// Trace streams are stateful; the baseline needs a fresh replay.
+			wl, err2 = loadTrace(*trace, cfg.Cores)
+			if err2 != nil {
+				fmt.Fprintln(os.Stderr, err2)
+				os.Exit(1)
+			}
+		}
+		bres := sim.New(base, wl).Run(wl.Name)
+		fmt.Printf("\nbaseline (direct-mapped) mean IPC: %.4f\n", bres.MeanIPC())
+		fmt.Printf("weighted speedup:                  %.4f\n", sim.WeightedSpeedup(res, bres))
+	}
+}
+
+// loadTrace reads a tracegen-format file and replays it on every core.
+func loadTrace(path string, cores int) (workloads.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workloads.Workload{}, err
+	}
+	defer f.Close()
+	st, err := workloads.ReadTrace(f)
+	if err != nil {
+		return workloads.Workload{}, err
+	}
+	return workloads.TraceWorkload(path, st.Events, cores)
+}
+
+func printResult(cfg sim.Config, res sim.Result) {
+	fmt.Printf("config:   %s  (scale 1/%d, %.1f MB model cache)\n",
+		res.Config, cfg.Scale, float64(cfg.L4Capacity())/(1<<20))
+	fmt.Printf("workload: %s\n\n", res.Workload)
+
+	t := stats.NewTable("", "metric", "value")
+	t.AddRowf("L4 reads", res.L4.Reads)
+	t.AddRowf("L4 hit rate", fmt.Sprintf("%.2f%%", 100*res.HitRate()))
+	t.AddRowf("way-pred accuracy", fmt.Sprintf("%.2f%%", 100*res.Accuracy()))
+	t.AddRowf("probes per read", fmt.Sprintf("%.3f", res.L4.ProbesPerRead()))
+	t.AddRowf("avg hit latency (cyc)", fmt.Sprintf("%.1f", res.L4.HitLatency.Mean()))
+	t.AddRowf("avg miss latency (cyc)", fmt.Sprintf("%.1f", res.L4.MissLatency.Mean()))
+	t.AddRowf("L4 writebacks", res.L4.Writebacks)
+	t.AddRowf("NVM reads / writes", fmt.Sprintf("%d / %d", res.L4.NVMReads, res.L4.NVMWrites))
+	t.AddRowf("mean IPC", fmt.Sprintf("%.4f", res.MeanIPC()))
+	fmt.Print(t.Render())
+
+	b := energy.Compute(cfg.HBM, res.HBM, cfg.PCM, res.PCM, res.Cycles, cfg.CPUGHz)
+	fmt.Printf("\nenergy: %.4f J total (%.2f W avg, EDP %.5f J·s)\n", b.Total(), b.Power(), b.EDP())
+}

@@ -1,0 +1,36 @@
+// Cyclickernel reproduces Figure 6's analysis through the public
+// experiment API: two cache lines that conflict in the same 2-way set are
+// accessed alternately, (a,b)^N, and the steady-state hit rate is swept
+// over the preferred-way install probability (PIP).
+//
+// The figure's story: a direct-mapped cache (PIP=100%) thrashes forever;
+// an unbiased 2-way cache (PIP=50%) separates the lines immediately; and
+// the paper's PIP=80-90% keeps almost all of the hit rate while making
+// the install way — and therefore the way prediction — highly predictable.
+//
+//	go run ./examples/cyclickernel
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"accord"
+)
+
+func main() {
+	e, ok := accord.FindExperiment("fig6")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "fig6 experiment not registered")
+		os.Exit(1)
+	}
+	session := accord.NewExperimentSession(accord.QuickParams())
+	for _, table := range e.Run(session) {
+		fmt.Println(table.Render())
+	}
+	fmt.Println("Reading the table: at PIP=50% both conflicting lines are in")
+	fmt.Println("separate ways after a couple of iterations; PIP=90% takes")
+	fmt.Println("longer to learn but converges too. PIP=100% (direct-mapped)")
+	fmt.Println("never recovers — the classic conflict-thrash pathology that")
+	fmt.Println("motivates associativity for DRAM caches.")
+}

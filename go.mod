@@ -1,0 +1,3 @@
+module accord
+
+go 1.22

@@ -1,0 +1,266 @@
+// Package cache implements the on-chip SRAM cache substrate: set-
+// associative write-back caches with true-LRU replacement, used for the
+// L1/L2/L3 levels of Table III, plus the DRAM-cache-presence (DCP) state
+// the paper keeps in the L3 to avoid writeback probes (Section II-B-3).
+package cache
+
+import (
+	"fmt"
+
+	"accord/internal/memtypes"
+)
+
+// Config describes one SRAM cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int64
+	Ways       int
+	HitLatency int64 // cycles added to an access serviced at this level
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes < memtypes.LineSize:
+		return fmt.Errorf("cache %s: size %d smaller than a line", c.Name, c.SizeBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache %s: ways = %d, must be positive", c.Name, c.Ways)
+	case c.SizeBytes%(memtypes.LineSize*int64(c.Ways)) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by ways*linesize", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (memtypes.LineSize * int64(c.Ways))
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets, must be a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// DCP is the DRAM-cache-presence state attached to an L3 line: whether the
+// line is resident in the DRAM cache and, per the paper's extension, which
+// way it occupies (so writebacks need no probe).
+type DCP struct {
+	Present bool
+	Way     uint8
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Line  memtypes.LineAddr
+	Dirty bool
+	DCP   DCP
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+	dcp   DCP
+}
+
+// Stats counts the externally visible events of one cache.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	Fills      uint64
+}
+
+// Cache is a set-associative write-back SRAM cache. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	cfg     Config
+	numSets uint64
+	ways    int
+	lines   []line // sets*ways, row-major by set
+	clock   uint64 // LRU timestamp source
+	stats   Stats
+}
+
+// New builds a cache from cfg, panicking on invalid configuration (always
+// a programming error here).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := uint64(cfg.SizeBytes / (memtypes.LineSize * int64(cfg.Ways)))
+	return &Cache{
+		cfg:     cfg,
+		numSets: numSets,
+		ways:    cfg.Ways,
+		lines:   make([]line, numSets*uint64(cfg.Ways)),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() uint64 { return c.numSets }
+
+// Stats returns cumulative statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes statistics, keeping contents (for warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(l memtypes.LineAddr) (set uint64, tag uint64) {
+	set = uint64(l) & (c.numSets - 1)
+	tag = uint64(l) >> log2(c.numSets)
+	return set, tag
+}
+
+func log2(x uint64) uint {
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *Cache) set(set uint64) []line {
+	base := set * uint64(c.ways)
+	return c.lines[base : base+uint64(c.ways)]
+}
+
+// Lookup probes for l without changing contents; it updates LRU and the
+// dirty bit on a hit. It returns whether the line was present.
+func (c *Cache) Lookup(l memtypes.LineAddr, write bool) bool {
+	set, tag := c.index(l)
+	ways := c.set(set)
+	c.clock++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].used = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports presence without perturbing LRU, dirty bits, or stats.
+func (c *Cache) Contains(l memtypes.LineAddr) bool {
+	set, tag := c.index(l)
+	for _, w := range c.set(set) {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs l (after a miss), evicting the LRU way if the set is full.
+// The returned eviction is meaningful only when evicted is true; the
+// caller is responsible for writing back dirty victims.
+func (c *Cache) Fill(l memtypes.LineAddr, dirty bool, dcp DCP) (ev Eviction, evicted bool) {
+	set, tag := c.index(l)
+	ways := c.set(set)
+	c.clock++
+	c.stats.Fills++
+
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			goto install
+		}
+		if ways[i].used < ways[victim].used {
+			victim = i
+		}
+	}
+	{
+		v := &ways[victim]
+		ev = Eviction{
+			Line:  c.lineAddr(set, v.tag),
+			Dirty: v.dirty,
+			DCP:   v.dcp,
+		}
+		evicted = true
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+	}
+install:
+	ways[victim] = line{tag: tag, valid: true, dirty: dirty, used: c.clock, dcp: dcp}
+	return ev, evicted
+}
+
+// SetDCP updates the DCP state of a resident line; it is a no-op when the
+// line is absent. Returns whether the line was found.
+func (c *Cache) SetDCP(l memtypes.LineAddr, dcp DCP) bool {
+	set, tag := c.index(l)
+	ways := c.set(set)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].dcp = dcp
+			return true
+		}
+	}
+	return false
+}
+
+// GetDCP returns the DCP state of a resident line.
+func (c *Cache) GetDCP(l memtypes.LineAddr) (DCP, bool) {
+	set, tag := c.index(l)
+	for _, w := range c.set(set) {
+		if w.valid && w.tag == tag {
+			return w.dcp, true
+		}
+	}
+	return DCP{}, false
+}
+
+// Invalidate removes l if present, returning whether it was dirty.
+func (c *Cache) Invalidate(l memtypes.LineAddr) (wasDirty, wasPresent bool) {
+	set, tag := c.index(l)
+	ways := c.set(set)
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			wasDirty = ways[i].dirty
+			ways[i] = line{}
+			return wasDirty, true
+		}
+	}
+	return false, false
+}
+
+// OccupancyOfSet returns the number of valid lines in the set holding l;
+// a test/debug helper.
+func (c *Cache) OccupancyOfSet(l memtypes.LineAddr) int {
+	set, _ := c.index(l)
+	n := 0
+	for _, w := range c.set(set) {
+		if w.valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cache) lineAddr(set, tag uint64) memtypes.LineAddr {
+	return memtypes.LineAddr(tag<<log2(c.numSets) | set)
+}
+
+// CheckInvariants validates internal consistency (no duplicate tags within
+// a set); tests call this after random operation sequences.
+func (c *Cache) CheckInvariants() error {
+	for s := uint64(0); s < c.numSets; s++ {
+		seen := make(map[uint64]bool)
+		for _, w := range c.set(s) {
+			if !w.valid {
+				continue
+			}
+			if seen[w.tag] {
+				return fmt.Errorf("cache %s: duplicate tag %#x in set %d", c.cfg.Name, w.tag, s)
+			}
+			seen[w.tag] = true
+		}
+	}
+	return nil
+}

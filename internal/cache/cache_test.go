@@ -1,0 +1,239 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accord/internal/memtypes"
+)
+
+func smallCfg() Config {
+	return Config{Name: "t", SizeBytes: 4 * 64 * 4, Ways: 4, HitLatency: 1} // 4 sets, 4 ways
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Name: "tiny", SizeBytes: 32, Ways: 1},
+		{Name: "zeroways", SizeBytes: 4096, Ways: 0},
+		{Name: "nondiv", SizeBytes: 4096 + 64, Ways: 2},
+		{Name: "npot", SizeBytes: 3 * 64 * 2, Ways: 2}, // 3 sets
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %q passed validation", c.Name)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New did not panic on invalid config")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 0, Ways: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(smallCfg())
+	l := memtypes.LineAddr(0x123)
+	if c.Lookup(l, false) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Fill(l, false, DCP{})
+	if !c.Lookup(l, false) {
+		t.Fatal("miss after fill")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	c := New(smallCfg()) // 4 sets, 4 ways
+	// Five lines in set 0: lines 0,4,8,12,16 (set = line & 3 with 4 sets).
+	for i := 0; i < 4; i++ {
+		c.Fill(memtypes.LineAddr(i*4), false, DCP{})
+	}
+	// Touch line 0 so that line 4 is LRU.
+	c.Lookup(0, false)
+	ev, evicted := c.Fill(memtypes.LineAddr(16), false, DCP{})
+	if !evicted {
+		t.Fatal("no eviction from a full set")
+	}
+	if ev.Line != 4 {
+		t.Errorf("evicted line %#x, want 0x4 (LRU)", uint64(ev.Line))
+	}
+	if c.Contains(4) {
+		t.Error("victim still present")
+	}
+	if !c.Contains(0) || !c.Contains(16) {
+		t.Error("expected lines missing")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := New(smallCfg())
+	c.Fill(0, false, DCP{})
+	c.Lookup(0, true) // dirty it
+	for i := 1; i <= 4; i++ {
+		c.Fill(memtypes.LineAddr(i*4), false, DCP{})
+	}
+	// Line 0 must have been evicted dirty at some point.
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestEvictionAddressRoundTrip(t *testing.T) {
+	c := New(smallCfg())
+	l := memtypes.LineAddr(0xABCD)
+	c.Fill(l, true, DCP{})
+	set := uint64(l) & 3
+	// Fill the same set with 4 more lines to force l out.
+	var got memtypes.LineAddr
+	found := false
+	for i := uint64(1); i <= 4; i++ {
+		other := memtypes.LineAddr(set | i<<20)
+		if ev, evicted := c.Fill(other, false, DCP{}); evicted && ev.Dirty {
+			got, found = ev.Line, true
+		}
+	}
+	if !found || got != l {
+		t.Errorf("dirty eviction line = %#x (found=%v), want %#x", uint64(got), found, uint64(l))
+	}
+}
+
+func TestDCPStateRoundTrip(t *testing.T) {
+	c := New(smallCfg())
+	l := memtypes.LineAddr(7)
+	if c.SetDCP(l, DCP{Present: true, Way: 1}) {
+		t.Error("SetDCP succeeded on absent line")
+	}
+	c.Fill(l, false, DCP{Present: true, Way: 3})
+	dcp, ok := c.GetDCP(l)
+	if !ok || !dcp.Present || dcp.Way != 3 {
+		t.Errorf("GetDCP = %+v, %v", dcp, ok)
+	}
+	if !c.SetDCP(l, DCP{Present: false}) {
+		t.Error("SetDCP failed on resident line")
+	}
+	dcp, _ = c.GetDCP(l)
+	if dcp.Present {
+		t.Error("DCP update not applied")
+	}
+	if _, ok := c.GetDCP(memtypes.LineAddr(9999)); ok {
+		t.Error("GetDCP found absent line")
+	}
+}
+
+func TestDCPTravelsWithEviction(t *testing.T) {
+	c := New(Config{Name: "dm", SizeBytes: 64 * 4, Ways: 1}) // 4 sets, direct-mapped
+	c.Fill(0, true, DCP{Present: true, Way: 2})
+	ev, evicted := c.Fill(4, false, DCP{})
+	if !evicted || !ev.DCP.Present || ev.DCP.Way != 2 {
+		t.Errorf("eviction DCP = %+v (evicted=%v), want way 2", ev.DCP, evicted)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(smallCfg())
+	c.Fill(5, false, DCP{})
+	c.Lookup(5, true)
+	dirty, present := c.Invalidate(5)
+	if !present || !dirty {
+		t.Errorf("Invalidate = dirty %v present %v", dirty, present)
+	}
+	if c.Contains(5) {
+		t.Error("line still present after invalidate")
+	}
+	if _, present := c.Invalidate(5); present {
+		t.Error("second invalidate found the line")
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New(smallCfg())
+	c.Fill(0, false, DCP{})
+	before := c.Stats()
+	c.Contains(0)
+	c.Contains(999)
+	if c.Stats() != before {
+		t.Error("Contains changed stats")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(smallCfg())
+	c.Fill(1, false, DCP{})
+	c.Lookup(1, false)
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Error("stats not zeroed")
+	}
+	if !c.Contains(1) {
+		t.Error("ResetStats dropped contents")
+	}
+}
+
+func TestRandomOpsKeepInvariants(t *testing.T) {
+	c := New(smallCfg())
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		l := memtypes.LineAddr(r.Intn(64))
+		switch r.Intn(4) {
+		case 0:
+			c.Lookup(l, r.Intn(2) == 0)
+		case 1:
+			if !c.Contains(l) {
+				c.Fill(l, r.Intn(2) == 0, DCP{})
+			}
+		case 2:
+			c.Invalidate(l)
+		case 3:
+			c.SetDCP(l, DCP{Present: true, Way: uint8(r.Intn(8))})
+		}
+		if i%1000 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFillThenPresent(t *testing.T) {
+	c := New(Config{Name: "q", SizeBytes: 64 * 64 * 8, Ways: 8})
+	f := func(raw uint32) bool {
+		l := memtypes.LineAddr(raw)
+		if !c.Contains(l) {
+			c.Fill(l, false, DCP{})
+		}
+		return c.Contains(l) && c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccupancyOfSet(t *testing.T) {
+	c := New(smallCfg())
+	if c.OccupancyOfSet(0) != 0 {
+		t.Error("fresh set not empty")
+	}
+	c.Fill(0, false, DCP{})
+	c.Fill(4, false, DCP{})
+	if got := c.OccupancyOfSet(0); got != 2 {
+		t.Errorf("occupancy = %d, want 2", got)
+	}
+	if got := c.OccupancyOfSet(1); got != 0 {
+		t.Errorf("other set occupancy = %d, want 0", got)
+	}
+}

@@ -1,0 +1,135 @@
+package cache
+
+import "accord/internal/memtypes"
+
+// HierarchyConfig configures the three on-chip levels of Table III.
+type HierarchyConfig struct {
+	L1, L2, L3 Config
+}
+
+// DefaultHierarchy returns per-core L1/L2 plus the shared-L3 parameters of
+// Table III, scaled down by scale (the same factor applied to the DRAM
+// cache). The L3 is 8 MB 16-way at scale 1.
+func DefaultHierarchy(scale int64) HierarchyConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	clamp := func(size int64, ways int) Config {
+		min := int64(memtypes.LineSize) * int64(ways)
+		if size < min {
+			size = min
+		}
+		return Config{SizeBytes: size, Ways: ways}
+	}
+	l1 := clamp(32<<10, 8)
+	l1.Name, l1.HitLatency = "l1", 4
+	l2 := clamp(256<<10/scale, 8)
+	l2.Name, l2.HitLatency = "l2", 12
+	l3 := clamp(8<<20/scale, 16)
+	l3.Name, l3.HitLatency = "l3", 35
+	return HierarchyConfig{L1: l1, L2: l2, L3: l3}
+}
+
+// Writeback is a dirty line leaving the L3 toward the DRAM cache, carrying
+// its DCP way hint.
+type Writeback struct {
+	Line memtypes.LineAddr
+	DCP  DCP
+}
+
+// Outcome describes how the hierarchy serviced one access.
+type Outcome struct {
+	// Level is the level that serviced the access: 1, 2, or 3; 4 means the
+	// access missed the whole SRAM hierarchy and needs the DRAM cache.
+	Level int
+	// Latency is the SRAM lookup latency accumulated on the path.
+	Latency int64
+	// Writebacks are dirty L3 victims that must be written below.
+	Writebacks []Writeback
+}
+
+// Hierarchy wires private L1/L2 with a shared L3. In the 16-core system
+// each core owns a Hierarchy view; constructing per-core L1/L2 around one
+// shared L3 is the caller's job (see NewSharedHierarchies).
+type Hierarchy struct {
+	l1, l2 *Cache
+	l3     *Cache // shared
+}
+
+// NewSharedHierarchies builds n per-core hierarchies sharing one L3 and
+// returns them along with the shared L3 (for stats and DCP updates).
+func NewSharedHierarchies(cfg HierarchyConfig, n int) ([]*Hierarchy, *Cache) {
+	l3 := New(cfg.L3)
+	hs := make([]*Hierarchy, n)
+	for i := range hs {
+		hs[i] = &Hierarchy{l1: New(cfg.L1), l2: New(cfg.L2), l3: l3}
+	}
+	return hs, l3
+}
+
+// L3 returns the shared last-level SRAM cache.
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// Access runs one load or store through L1→L2→L3. When Outcome.Level is 4
+// the caller must consult the DRAM cache and then call FillFromBelow.
+func (h *Hierarchy) Access(l memtypes.LineAddr, write bool) Outcome {
+	out := Outcome{Latency: h.l1.cfg.HitLatency}
+	if h.l1.Lookup(l, write) {
+		out.Level = 1
+		return out
+	}
+	out.Latency += h.l2.cfg.HitLatency
+	if h.l2.Lookup(l, false) {
+		out.Level = 2
+		h.fillUpper(l, write, &out)
+		return out
+	}
+	out.Latency += h.l3.cfg.HitLatency
+	if h.l3.Lookup(l, false) {
+		out.Level = 3
+		h.fillUpper(l, write, &out)
+		return out
+	}
+	out.Level = 4
+	return out
+}
+
+// FillFromBelow installs a line returned by the DRAM cache (or memory)
+// into L3, L2, and L1. dcp carries whether/where the line now resides in
+// the DRAM cache, enabling probe-free writebacks later.
+func (h *Hierarchy) FillFromBelow(l memtypes.LineAddr, write bool, dcp DCP) (wbs []Writeback) {
+	if ev, evicted := h.l3.Fill(l, false, dcp); evicted && ev.Dirty {
+		wbs = append(wbs, Writeback{Line: ev.Line, DCP: ev.DCP})
+	}
+	var out Outcome
+	h.fillUpper(l, write, &out)
+	return append(wbs, out.Writebacks...)
+}
+
+// fillUpper pulls a line now available in a lower level into L2 and L1,
+// propagating dirty victims downward (and L3 dirty victims outward).
+func (h *Hierarchy) fillUpper(l memtypes.LineAddr, write bool, out *Outcome) {
+	if ev, evicted := h.l2.Fill(l, false, DCP{}); evicted && ev.Dirty {
+		h.sinkIntoL3(ev.Line, out)
+	}
+	if ev, evicted := h.l1.Fill(l, write, DCP{}); evicted && ev.Dirty {
+		// Dirty L1 victim lands in L2 (present in the common case; install
+		// otherwise).
+		if !h.l2.Lookup(ev.Line, true) {
+			if ev2, e2 := h.l2.Fill(ev.Line, true, DCP{}); e2 && ev2.Dirty {
+				h.sinkIntoL3(ev2.Line, out)
+			}
+		}
+	}
+}
+
+// sinkIntoL3 writes a dirty victim into the L3, turning any displaced
+// dirty L3 line into an external writeback.
+func (h *Hierarchy) sinkIntoL3(l memtypes.LineAddr, out *Outcome) {
+	if h.l3.Lookup(l, true) {
+		return
+	}
+	if ev, evicted := h.l3.Fill(l, true, DCP{}); evicted && ev.Dirty {
+		out.Writebacks = append(out.Writebacks, Writeback{Line: ev.Line, DCP: ev.DCP})
+	}
+}

@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"accord/internal/memtypes"
+)
+
+func tinyHierarchy(n int) ([]*Hierarchy, *Cache) {
+	cfg := HierarchyConfig{
+		L1: Config{Name: "l1", SizeBytes: 2 * 64 * 2, Ways: 2, HitLatency: 4},
+		L2: Config{Name: "l2", SizeBytes: 4 * 64 * 2, Ways: 2, HitLatency: 12},
+		L3: Config{Name: "l3", SizeBytes: 8 * 64 * 4, Ways: 4, HitLatency: 35},
+	}
+	return NewSharedHierarchies(cfg, n)
+}
+
+func TestDefaultHierarchyScaling(t *testing.T) {
+	h := DefaultHierarchy(1)
+	if h.L3.SizeBytes != 8<<20 || h.L3.Ways != 16 {
+		t.Errorf("L3 = %d bytes %d ways, want 8MB 16-way", h.L3.SizeBytes, h.L3.Ways)
+	}
+	for _, cfg := range []Config{h.L1, h.L2, h.L3} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("default %s invalid: %v", cfg.Name, err)
+		}
+	}
+	hs := DefaultHierarchy(256)
+	if hs.L3.SizeBytes != 32<<10 {
+		t.Errorf("scaled L3 = %d, want 32KB", hs.L3.SizeBytes)
+	}
+	for _, cfg := range []Config{hs.L1, hs.L2, hs.L3} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scaled %s invalid: %v", cfg.Name, err)
+		}
+	}
+	// Extreme scale still yields valid (clamped) configs.
+	he := DefaultHierarchy(1 << 20)
+	for _, cfg := range []Config{he.L1, he.L2, he.L3} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("clamped %s invalid: %v", cfg.Name, err)
+		}
+	}
+	if h0 := DefaultHierarchy(0); h0.L3 != h.L3 {
+		t.Error("scale 0 not treated as 1")
+	}
+}
+
+func TestHierarchyMissPath(t *testing.T) {
+	hs, _ := tinyHierarchy(1)
+	h := hs[0]
+	l := memtypes.LineAddr(0x40)
+
+	out := h.Access(l, false)
+	if out.Level != 4 {
+		t.Fatalf("first access level = %d, want 4 (full miss)", out.Level)
+	}
+	if out.Latency != 4+12+35 {
+		t.Errorf("miss path latency = %d, want 51", out.Latency)
+	}
+	h.FillFromBelow(l, false, DCP{Present: true, Way: 1})
+
+	out = h.Access(l, false)
+	if out.Level != 1 || out.Latency != 4 {
+		t.Errorf("second access = level %d latency %d, want L1 hit", out.Level, out.Latency)
+	}
+}
+
+func TestHierarchyL3Hit(t *testing.T) {
+	hs, l3 := tinyHierarchy(2)
+	a, b := hs[0], hs[1]
+	l := memtypes.LineAddr(0x99)
+	a.Access(l, false)
+	a.FillFromBelow(l, false, DCP{})
+	if !l3.Contains(l) {
+		t.Fatal("shared L3 missing filled line")
+	}
+	// The other core hits in the shared L3, not in its private levels.
+	out := b.Access(l, false)
+	if out.Level != 3 {
+		t.Errorf("cross-core access level = %d, want 3", out.Level)
+	}
+}
+
+func TestDirtyL3EvictionCarriesDCP(t *testing.T) {
+	hs, l3 := tinyHierarchy(1)
+	h := hs[0]
+	l := memtypes.LineAddr(0x7)
+	h.Access(l, true)
+	h.FillFromBelow(l, true, DCP{Present: true, Way: 1})
+	// Mark dirty in L3 directly (write stores propagate lazily in this
+	// model; force the state we want to test).
+	l3.Lookup(l, true)
+
+	// Evict l from L3 by filling its set with distinct lines.
+	sets := l3.NumSets()
+	var wbs []Writeback
+	for i := uint64(1); i <= 8; i++ {
+		other := memtypes.LineAddr(uint64(l)&(sets-1) | i<<40)
+		if ev, evicted := l3.Fill(other, false, DCP{}); evicted && ev.Dirty {
+			wbs = append(wbs, Writeback{Line: ev.Line, DCP: ev.DCP})
+		}
+	}
+	found := false
+	for _, wb := range wbs {
+		if wb.Line == l {
+			found = true
+			if !wb.DCP.Present || wb.DCP.Way != 1 {
+				t.Errorf("writeback DCP = %+v, want present way 1", wb.DCP)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dirty line never evicted from L3")
+	}
+}
+
+func TestWritebackGeneratedByTraffic(t *testing.T) {
+	hs, _ := tinyHierarchy(1)
+	h := hs[0]
+	r := rand.New(rand.NewSource(42))
+	sawWB := false
+	for i := 0; i < 5000; i++ {
+		l := memtypes.LineAddr(r.Intn(256))
+		out := h.Access(l, r.Intn(2) == 0)
+		if out.Level == 4 {
+			wbs := h.FillFromBelow(l, false, DCP{})
+			if len(wbs) > 0 {
+				sawWB = true
+			}
+		}
+		if len(out.Writebacks) > 0 {
+			sawWB = true
+		}
+	}
+	if !sawWB {
+		t.Error("random write traffic produced no L3 writebacks")
+	}
+}
+
+func TestHierarchyFiltersTraffic(t *testing.T) {
+	// Repeated accesses to a small working set must be absorbed above L3.
+	hs, l3 := tinyHierarchy(1)
+	h := hs[0]
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 2; i++ {
+			l := memtypes.LineAddr(i)
+			out := h.Access(l, false)
+			if out.Level == 4 {
+				h.FillFromBelow(l, false, DCP{})
+			}
+		}
+	}
+	s := l3.Stats()
+	if s.Misses != 2 {
+		t.Errorf("L3 misses = %d, want 2 (compulsory only)", s.Misses)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"accord/internal/memtypes"
+)
+
+// ACCORDConfig selects which of the paper's way-steering mechanisms an
+// ACCORD policy instance applies.
+type ACCORDConfig struct {
+	Geom Geometry
+
+	// UsePWS enables Probabilistic Way-Steering (Section IV-B): installs
+	// are steered to the tag-derived preferred way with probability PIP,
+	// and lookups statically predict the preferred way.
+	UsePWS bool
+	// PIP is the Preferred-way Install Probability. 0.5 is the unbiased
+	// 2-way baseline, 1.0 degenerates to direct-mapped; the paper settles
+	// on 0.85.
+	PIP float64
+
+	// UseGWS enables Ganged Way-Steering (Section IV-C): installs follow
+	// the way chosen for an earlier line of the same 4 KB region (RIT) and
+	// predictions follow the last way seen for the region (RLT).
+	UseGWS bool
+	// RITEntries and RLTEntries size the two region tables; the paper uses
+	// 64 entries each (320 bytes total).
+	RITEntries, RLTEntries int
+
+	// UseSWS enables Skewed Way-Steering (Section V-A): a line may reside
+	// only in its preferred way or a small number of tag-hashed alternate
+	// ways, cutting miss confirmation to k+1 probes in an N-way cache.
+	UseSWS bool
+	// SWSAlternates is the number of alternate locations k in SWS(N,k+1).
+	// The paper evaluates one alternate (SWS(N,2)) and sketches the
+	// multi-alternate extension ("SWS can be extended to support multiple
+	// Alternate locations for flexibility, albeit at higher cost of
+	// miss-confirmation"); zero selects the paper's single alternate.
+	SWSAlternates int
+
+	Seed int64
+}
+
+// DefaultACCORD returns the paper's full configuration for a geometry:
+// PWS with PIP=85%, GWS with 64-entry tables, and SWS when the cache has
+// more than two ways.
+func DefaultACCORD(geom Geometry, seed int64) ACCORDConfig {
+	return ACCORDConfig{
+		Geom:       geom,
+		UsePWS:     true,
+		PIP:        0.85,
+		UseGWS:     true,
+		RITEntries: 64,
+		RLTEntries: 64,
+		UseSWS:     geom.Ways > 2,
+		Seed:       seed,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ACCORDConfig) Validate() error {
+	switch {
+	case c.Geom.Ways < 1:
+		return fmt.Errorf("accord: ways = %d, must be >= 1", c.Geom.Ways)
+	case c.Geom.Ways&(c.Geom.Ways-1) != 0:
+		return fmt.Errorf("accord: ways = %d, must be a power of two", c.Geom.Ways)
+	case c.Geom.Sets == 0 || c.Geom.Sets&(c.Geom.Sets-1) != 0:
+		return fmt.Errorf("accord: sets = %d, must be a nonzero power of two", c.Geom.Sets)
+	case c.UsePWS && (c.PIP < 0 || c.PIP > 1):
+		return fmt.Errorf("accord: PIP = %v, must be in [0,1]", c.PIP)
+	case c.UseGWS && (c.RITEntries <= 0 || c.RLTEntries <= 0):
+		return fmt.Errorf("accord: GWS table sizes %d/%d must be positive", c.RITEntries, c.RLTEntries)
+	case c.UseSWS && c.Geom.Ways < 4:
+		return fmt.Errorf("accord: SWS needs >= 4 ways, got %d", c.Geom.Ways)
+	case c.UseSWS && c.SWSAlternates < 0:
+		return fmt.Errorf("accord: SWSAlternates = %d, must be >= 0", c.SWSAlternates)
+	case c.UseSWS && c.SWSAlternates >= c.Geom.Ways:
+		return fmt.Errorf("accord: SWSAlternates = %d leaves no restriction in a %d-way cache",
+			c.SWSAlternates, c.Geom.Ways)
+	}
+	return nil
+}
+
+// alternates returns the configured alternate count (default 1).
+func (c ACCORDConfig) alternates() int {
+	if c.SWSAlternates <= 0 {
+		return 1
+	}
+	return c.SWSAlternates
+}
+
+// ACCORD implements the coordinated way-install/way-prediction policy.
+type ACCORD struct {
+	cfg     ACCORDConfig
+	ways    int
+	wayMask uint64
+	wayBits uint
+	rng     *rand.Rand
+
+	rit, rlt    *regionTable // nil unless UseGWS
+	candScratch []int        // scratch for validCandidate
+
+	// Diagnostics.
+	ritHits, ritMisses uint64
+	rltHits, rltMisses uint64
+}
+
+// NewACCORD builds the policy; it panics on invalid configuration (a
+// programming error in this codebase).
+func NewACCORD(cfg ACCORDConfig) *ACCORD {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	a := &ACCORD{
+		cfg:     cfg,
+		ways:    cfg.Geom.Ways,
+		wayMask: uint64(cfg.Geom.Ways - 1),
+		wayBits: bitsFor(cfg.Geom.Ways),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	a.candScratch = make([]int, 0, cfg.Geom.Ways)
+	if cfg.UseGWS {
+		a.rit = newRegionTable(cfg.RITEntries)
+		a.rlt = newRegionTable(cfg.RLTEntries)
+	}
+	return a
+}
+
+// Name implements Policy.
+func (a *ACCORD) Name() string {
+	var parts []string
+	if a.cfg.UsePWS {
+		parts = append(parts, fmt.Sprintf("pws(%.0f%%)", a.cfg.PIP*100))
+	}
+	if a.cfg.UseGWS {
+		parts = append(parts, "gws")
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "unbiased")
+	}
+	name := strings.Join(parts, "+")
+	if a.cfg.UseSWS {
+		name = fmt.Sprintf("%s+sws(%d,%d)", name, a.ways, a.cfg.alternates()+1)
+	}
+	return name
+}
+
+// StorageBytes implements Policy: PWS and SWS are stateless; only the GWS
+// region tables cost SRAM (Table IX: 320 bytes).
+func (a *ACCORD) StorageBytes() int64 {
+	if !a.cfg.UseGWS {
+		return 0
+	}
+	return a.rit.storageBytes() + a.rlt.storageBytes()
+}
+
+// PreferredWay returns the way the tag steers to: the low way-bits of the
+// tag (Figure 5a; even tags to way 0, odd to way 1 in a 2-way cache).
+func (a *ACCORD) PreferredWay(tag uint64) int {
+	return int(tag & a.wayMask)
+}
+
+// AlternateWay returns the first SWS alternate location (Section V-A):
+// scan way-bit-wide groups of the tag from the third LSB group upward and
+// take the first group that differs from the preferred way; if every
+// group matches, invert the preferred way.
+func (a *ACCORD) AlternateWay(tag uint64) int {
+	return a.alternateWays(tag, make([]int, 0, 1), 1)[0]
+}
+
+// alternateWays appends k distinct alternates (all different from the
+// preferred way) to buf, extending the paper's hash: successive tag
+// groups supply candidates; if the tag runs out of distinct groups the
+// remaining alternates rotate away from the preferred way.
+func (a *ACCORD) alternateWays(tag uint64, buf []int, k int) []int {
+	pref := int(tag & a.wayMask)
+	used := 1 << uint(pref)
+	target := len(buf) + k
+	for shift := a.wayBits; shift < 64 && len(buf) < target; shift += a.wayBits {
+		cand := int((tag >> shift) & a.wayMask)
+		if used&(1<<uint(cand)) == 0 {
+			buf = append(buf, cand)
+			used |= 1 << uint(cand)
+		}
+	}
+	// Degenerate tags (all groups equal): fill deterministically, starting
+	// from the inverted preferred way as in the paper's 1-alternate case.
+	next := int(^uint64(pref) & a.wayMask)
+	for len(buf) < target {
+		if used&(1<<uint(next)) == 0 {
+			buf = append(buf, next)
+			used |= 1 << uint(next)
+		}
+		next = (next + 1) % a.ways
+	}
+	return buf
+}
+
+// CandidateWays implements Policy.
+func (a *ACCORD) CandidateWays(tag uint64, buf []int) []int {
+	if a.cfg.UseSWS {
+		buf = append(buf[:0], a.PreferredWay(tag))
+		return a.alternateWays(tag, buf, a.cfg.alternates())
+	}
+	return allWays(a.ways, buf)
+}
+
+// validCandidate reports whether way is one of the allowed locations for
+// tag; with SWS disabled every way is allowed.
+func (a *ACCORD) validCandidate(tag uint64, way int) bool {
+	if !a.cfg.UseSWS {
+		return way >= 0 && way < a.ways
+	}
+	for _, w := range a.CandidateWays(tag, a.candScratch[:0]) {
+		if w == way {
+			return true
+		}
+	}
+	return false
+}
+
+// PredictWay implements Policy. GWS predicts the last way seen for the
+// region when the RLT hits; otherwise PWS predicts the preferred way; with
+// both disabled the prediction is random (the unbiased baseline).
+func (a *ACCORD) PredictWay(set, tag uint64, region memtypes.RegionID) int {
+	if a.cfg.UseGWS {
+		if way, ok := a.rlt.lookup(region); ok {
+			a.rltHits++
+			if a.validCandidate(tag, way) {
+				return way
+			}
+		} else {
+			a.rltMisses++
+		}
+	}
+	if a.cfg.UsePWS {
+		return a.PreferredWay(tag)
+	}
+	return a.rng.Intn(a.ways)
+}
+
+// InstallWay implements Policy. GWS follows the region's recent install
+// way when the RIT hits; otherwise PWS steers to the preferred way with
+// probability PIP (alternate/other ways with the remainder); with both
+// disabled the install is unbiased random over the candidates.
+func (a *ACCORD) InstallWay(set, tag uint64, region memtypes.RegionID) int {
+	if a.cfg.UseGWS {
+		if way, ok := a.rit.lookup(region); ok {
+			a.ritHits++
+			if a.validCandidate(tag, way) {
+				return way
+			}
+		} else {
+			a.ritMisses++
+		}
+	}
+	if a.cfg.UsePWS {
+		return a.pwsInstall(tag)
+	}
+	return a.randomCandidate(tag)
+}
+
+// pwsInstall steers to the preferred way with probability PIP, else
+// uniformly to one of the other allowed ways.
+func (a *ACCORD) pwsInstall(tag uint64) int {
+	pref := a.PreferredWay(tag)
+	if a.ways == 1 || a.rng.Float64() < a.cfg.PIP {
+		return pref
+	}
+	if a.cfg.UseSWS {
+		alts := a.alternateWays(tag, a.candScratch[:0], a.cfg.alternates())
+		return alts[a.rng.Intn(len(alts))]
+	}
+	// Uniform over the ways other than the preferred one.
+	w := a.rng.Intn(a.ways - 1)
+	if w >= pref {
+		w++
+	}
+	return w
+}
+
+func (a *ACCORD) randomCandidate(tag uint64) int {
+	if a.cfg.UseSWS {
+		cands := a.CandidateWays(tag, a.candScratch[:0])
+		return cands[a.rng.Intn(len(cands))]
+	}
+	return a.rng.Intn(a.ways)
+}
+
+// ObserveAccess implements Policy: a hit refreshes the region's last-seen
+// way in the RLT.
+func (a *ACCORD) ObserveAccess(set, tag uint64, region memtypes.RegionID, way int, hit bool) {
+	if a.cfg.UseGWS && hit {
+		a.rlt.insert(region, way)
+	}
+}
+
+// ObserveInstall implements Policy: the install way becomes both the
+// region's recent install way (RIT) and its last-seen way (RLT).
+func (a *ACCORD) ObserveInstall(set, tag uint64, region memtypes.RegionID, way int) {
+	if a.cfg.UseGWS {
+		a.rit.insert(region, way)
+		a.rlt.insert(region, way)
+	}
+}
+
+// FilterMiss implements Policy; ACCORD keeps no per-line residency
+// metadata so it can never rule a line out.
+func (a *ACCORD) FilterMiss(set, tag uint64) bool { return false }
+
+// TableStats reports RIT/RLT hit counters for diagnostics.
+func (a *ACCORD) TableStats() (ritHits, ritMisses, rltHits, rltMisses uint64) {
+	return a.ritHits, a.ritMisses, a.rltHits, a.rltMisses
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"accord/internal/memtypes"
+)
+
+func geom2() Geometry { return Geometry{Sets: 1024, Ways: 2} }
+func geom4() Geometry { return Geometry{Sets: 1024, Ways: 4} }
+func geom8() Geometry { return Geometry{Sets: 1024, Ways: 8} }
+
+func pwsOnly(g Geometry, pip float64) *ACCORD {
+	return NewACCORD(ACCORDConfig{Geom: g, UsePWS: true, PIP: pip, Seed: 1})
+}
+
+func gwsOnly(g Geometry) *ACCORD {
+	return NewACCORD(ACCORDConfig{Geom: g, UseGWS: true, RITEntries: 64, RLTEntries: 64, Seed: 1})
+}
+
+func TestACCORDConfigValidate(t *testing.T) {
+	good := DefaultACCORD(geom2(), 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []ACCORDConfig{
+		{Geom: Geometry{Sets: 1024, Ways: 0}},
+		{Geom: Geometry{Sets: 1024, Ways: 3}},
+		{Geom: Geometry{Sets: 1000, Ways: 2}},
+		{Geom: Geometry{Sets: 0, Ways: 2}},
+		{Geom: geom2(), UsePWS: true, PIP: 1.5},
+		{Geom: geom2(), UsePWS: true, PIP: -0.1},
+		{Geom: geom2(), UseGWS: true, RITEntries: 0, RLTEntries: 64},
+		{Geom: geom2(), UseSWS: true}, // SWS needs >= 4 ways
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation", i)
+		}
+	}
+}
+
+func TestDefaultACCORDEnablesSWSOnlyAbove2Ways(t *testing.T) {
+	if DefaultACCORD(geom2(), 1).UseSWS {
+		t.Error("2-way default enabled SWS")
+	}
+	if !DefaultACCORD(geom8(), 1).UseSWS {
+		t.Error("8-way default did not enable SWS")
+	}
+}
+
+func TestPreferredWayParity(t *testing.T) {
+	a := pwsOnly(geom2(), 0.85)
+	// Figure 5(a): even tags prefer way 0, odd tags way 1.
+	if a.PreferredWay(0x10) != 0 || a.PreferredWay(0x11) != 1 {
+		t.Error("2-way preferred way is not tag parity")
+	}
+	a4 := pwsOnly(geom4(), 0.85)
+	for tag := uint64(0); tag < 8; tag++ {
+		if got := a4.PreferredWay(tag); got != int(tag&3) {
+			t.Errorf("4-way preferred(%d) = %d, want %d", tag, got, tag&3)
+		}
+	}
+}
+
+func TestAlternateWayNeverPreferred(t *testing.T) {
+	for _, g := range []Geometry{geom4(), geom8()} {
+		a := NewACCORD(ACCORDConfig{Geom: g, UseSWS: true, Seed: 1})
+		f := func(tag uint64) bool {
+			alt := a.AlternateWay(tag)
+			return alt != a.PreferredWay(tag) && alt >= 0 && alt < g.Ways
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%d-way: %v", g.Ways, err)
+		}
+	}
+}
+
+func TestAlternateWayFirstDifferingGroup(t *testing.T) {
+	a := NewACCORD(ACCORDConfig{Geom: geom4(), UseSWS: true, Seed: 1})
+	// tag = 0b..._01_11: preferred = 3 (bits 0-1), first group above = 01 -> 1.
+	if got := a.AlternateWay(0b0111); got != 1 {
+		t.Errorf("alternate(0b0111) = %d, want 1", got)
+	}
+	// All groups identical: 0b1111... every group = 3 -> invert -> 0.
+	allOnes := ^uint64(0)
+	if got := a.AlternateWay(allOnes); got != 0 {
+		t.Errorf("alternate(all-ones) = %d, want 0 (inverted preferred)", got)
+	}
+	if got := a.AlternateWay(0); got != 3 {
+		t.Errorf("alternate(0) = %d, want 3 (inverted preferred)", got)
+	}
+}
+
+func TestCandidateWays(t *testing.T) {
+	buf := make([]int, 0, 8)
+	a2 := pwsOnly(geom2(), 0.85)
+	c := a2.CandidateWays(7, buf)
+	if len(c) != 2 || c[0] != 0 || c[1] != 1 {
+		t.Errorf("2-way candidates = %v", c)
+	}
+	sws := NewACCORD(ACCORDConfig{Geom: geom8(), UseSWS: true, Seed: 1})
+	c = sws.CandidateWays(0x1234, buf)
+	if len(c) != 2 {
+		t.Fatalf("SWS candidates = %v, want exactly 2", c)
+	}
+	if c[0] != sws.PreferredWay(0x1234) || c[1] != sws.AlternateWay(0x1234) {
+		t.Errorf("SWS candidates = %v, want [pref alt]", c)
+	}
+	full := NewACCORD(DefaultACCORDWithoutSWS(geom8(), 1))
+	if got := full.CandidateWays(0x1234, buf); len(got) != 8 {
+		t.Errorf("non-SWS 8-way candidates = %v, want 8 ways", got)
+	}
+}
+
+// DefaultACCORDWithoutSWS is a test helper mirroring DefaultACCORD with
+// SWS forced off.
+func DefaultACCORDWithoutSWS(g Geometry, seed int64) ACCORDConfig {
+	cfg := DefaultACCORD(g, seed)
+	cfg.UseSWS = false
+	return cfg
+}
+
+func TestPWSInstallDistribution(t *testing.T) {
+	const n = 100000
+	for _, pip := range []float64{0.5, 0.7, 0.85, 1.0} {
+		a := pwsOnly(geom2(), pip)
+		pref := 0
+		for i := 0; i < n; i++ {
+			// Even tag: preferred way 0.
+			if a.InstallWay(uint64(i)&1023, 2, memtypes.RegionID(i)) == 0 {
+				pref++
+			}
+		}
+		got := float64(pref) / n
+		if math.Abs(got-pip) > 0.01 {
+			t.Errorf("PIP %.2f: measured preferred-install rate %.3f", pip, got)
+		}
+	}
+}
+
+func TestPWSPredictsPreferred(t *testing.T) {
+	a := pwsOnly(geom2(), 0.85)
+	for tag := uint64(0); tag < 16; tag++ {
+		if got := a.PredictWay(0, tag, 0); got != int(tag&1) {
+			t.Errorf("predict(tag=%d) = %d, want %d", tag, got, tag&1)
+		}
+	}
+}
+
+func TestPWSInstallSpreadOverNonPreferred(t *testing.T) {
+	a := pwsOnly(geom8(), 0.0) // never the preferred way
+	counts := make([]int, 8)
+	for i := 0; i < 80000; i++ {
+		counts[a.InstallWay(0, 0, 0)]++ // preferred way = 0
+	}
+	if counts[0] != 0 {
+		t.Fatalf("PIP=0 still installed into preferred way %d times", counts[0])
+	}
+	for w := 1; w < 8; w++ {
+		frac := float64(counts[w]) / 80000
+		if math.Abs(frac-1.0/7) > 0.02 {
+			t.Errorf("way %d fraction = %.3f, want ~%.3f", w, frac, 1.0/7)
+		}
+	}
+}
+
+func TestGWSGangedInstall(t *testing.T) {
+	a := gwsOnly(geom2())
+	region := memtypes.RegionID(5)
+	first := a.InstallWay(0, 0, region)
+	a.ObserveInstall(0, 0, region, first)
+	// Subsequent installs from the same region follow the first.
+	for set := uint64(1); set < 20; set++ {
+		if got := a.InstallWay(set, 0, region); got != first {
+			t.Fatalf("set %d installed to way %d, want ganged way %d", set, got, first)
+		}
+		a.ObserveInstall(set, 0, region, first)
+	}
+}
+
+func TestGWSPredictionFollowsLastSeen(t *testing.T) {
+	a := gwsOnly(geom2())
+	region := memtypes.RegionID(9)
+	a.ObserveAccess(3, 1, region, 1, true)
+	if got := a.PredictWay(4, 1, region); got != 1 {
+		t.Errorf("predict = %d, want last-seen way 1", got)
+	}
+	// New hit in the other way retrains the RLT.
+	a.ObserveAccess(5, 1, region, 0, true)
+	if got := a.PredictWay(6, 1, region); got != 0 {
+		t.Errorf("predict after retrain = %d, want 0", got)
+	}
+}
+
+func TestGWSMissDoesNotTrainRLT(t *testing.T) {
+	a := gwsOnly(geom2())
+	region := memtypes.RegionID(11)
+	a.ObserveAccess(0, 0, region, 0, false) // a miss
+	_, _, rltHits, _ := a.TableStats()
+	a.PredictWay(0, 0, region)
+	if _, _, h, _ := a.TableStats(); h != rltHits {
+		t.Error("RLT hit recorded for a region trained only by a miss")
+	}
+}
+
+func TestACCORDCombinedFallsBackToPWS(t *testing.T) {
+	cfg := DefaultACCORD(geom2(), 3)
+	a := NewACCORD(cfg)
+	// Region never seen: prediction = PWS preferred way.
+	if got := a.PredictWay(0, 3, memtypes.RegionID(1234)); got != 1 {
+		t.Errorf("fallback prediction = %d, want preferred 1", got)
+	}
+}
+
+func TestSWSInstallStaysInCandidates(t *testing.T) {
+	a := NewACCORD(DefaultACCORD(geom8(), 7))
+	f := func(tagRaw uint32, regRaw uint16) bool {
+		tag := uint64(tagRaw)
+		region := memtypes.RegionID(regRaw)
+		w := a.InstallWay(0, tag, region)
+		a.ObserveInstall(0, tag, region, w)
+		return w == a.PreferredWay(tag) || w == a.AlternateWay(tag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSWSPredictionStaysInCandidates(t *testing.T) {
+	a := NewACCORD(DefaultACCORD(geom8(), 7))
+	f := func(tagRaw uint32, regRaw uint16) bool {
+		tag := uint64(tagRaw)
+		region := memtypes.RegionID(regRaw)
+		w := a.PredictWay(0, tag, region)
+		return w == a.PreferredWay(tag) || w == a.AlternateWay(tag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestACCORDStorage(t *testing.T) {
+	// Table IX: PWS 0 B, GWS 320 B, SWS 0 B, total 320 B — independent of
+	// cache size.
+	full := Geometry{Sets: 32 << 20, Ways: 2} // 4 GB, 2-way
+	pws := pwsOnly(full, 0.85)
+	if pws.StorageBytes() != 0 {
+		t.Errorf("PWS storage = %d, want 0", pws.StorageBytes())
+	}
+	acc := NewACCORD(DefaultACCORD(full, 1))
+	if acc.StorageBytes() != 320 {
+		t.Errorf("ACCORD storage = %d bytes, want 320", acc.StorageBytes())
+	}
+	sws := NewACCORD(DefaultACCORD(Geometry{Sets: 8 << 20, Ways: 8}, 1))
+	if sws.StorageBytes() != 320 {
+		t.Errorf("ACCORD SWS(8,2) storage = %d bytes, want 320", sws.StorageBytes())
+	}
+}
+
+func TestACCORDName(t *testing.T) {
+	if got := NewACCORD(DefaultACCORD(geom2(), 1)).Name(); got != "pws(85%)+gws" {
+		t.Errorf("name = %q", got)
+	}
+	if got := NewACCORD(DefaultACCORD(geom8(), 1)).Name(); got != "pws(85%)+gws+sws(8,2)" {
+		t.Errorf("name = %q", got)
+	}
+	if got := gwsOnly(geom2()).Name(); got != "gws" {
+		t.Errorf("name = %q", got)
+	}
+	unb := NewACCORD(ACCORDConfig{Geom: geom2(), Seed: 1})
+	if got := unb.Name(); got != "unbiased" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestACCORDFilterMissAlwaysFalse(t *testing.T) {
+	a := NewACCORD(DefaultACCORD(geom2(), 1))
+	if a.FilterMiss(0, 0) {
+		t.Error("ACCORD claimed certain miss")
+	}
+}
+
+func TestUnbiasedInstallUniform(t *testing.T) {
+	a := NewACCORD(ACCORDConfig{Geom: geom2(), Seed: 2})
+	zero := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if a.InstallWay(0, 0, memtypes.RegionID(i)) == 0 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("unbiased install way-0 fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSWSMultiAlternate(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		a := NewACCORD(ACCORDConfig{Geom: geom8(), UseSWS: true, SWSAlternates: k, Seed: 1})
+		buf := make([]int, 0, 8)
+		for tag := uint64(0); tag < 4096; tag += 37 {
+			cands := a.CandidateWays(tag, buf)
+			if len(cands) != k+1 {
+				t.Fatalf("k=%d: %d candidates, want %d", k, len(cands), k+1)
+			}
+			seen := map[int]bool{}
+			for _, w := range cands {
+				if w < 0 || w >= 8 {
+					t.Fatalf("k=%d tag=%d: way %d out of range", k, tag, w)
+				}
+				if seen[w] {
+					t.Fatalf("k=%d tag=%d: duplicate way %d in %v", k, tag, w, cands)
+				}
+				seen[w] = true
+			}
+			if cands[0] != a.PreferredWay(tag) {
+				t.Fatalf("k=%d: first candidate %d is not the preferred way", k, cands[0])
+			}
+		}
+	}
+}
+
+func TestSWSMultiAlternateExtendsSingle(t *testing.T) {
+	// SWS(N,2)'s alternate must be the first alternate of SWS(N,k).
+	one := NewACCORD(ACCORDConfig{Geom: geom8(), UseSWS: true, Seed: 1})
+	three := NewACCORD(ACCORDConfig{Geom: geom8(), UseSWS: true, SWSAlternates: 3, Seed: 1})
+	buf := make([]int, 0, 8)
+	for tag := uint64(0); tag < 1000; tag++ {
+		if one.AlternateWay(tag) != three.CandidateWays(tag, buf)[1] {
+			t.Fatalf("tag %d: first alternate differs between k=1 and k=3", tag)
+		}
+	}
+}
+
+func TestSWSMultiAlternateDegenerateTags(t *testing.T) {
+	// An all-ones tag has identical groups everywhere; the alternates must
+	// still be distinct.
+	a := NewACCORD(ACCORDConfig{Geom: geom8(), UseSWS: true, SWSAlternates: 5, Seed: 1})
+	cands := a.CandidateWays(^uint64(0), make([]int, 0, 8))
+	seen := map[int]bool{}
+	for _, w := range cands {
+		if seen[w] {
+			t.Fatalf("duplicate way %d in %v", w, cands)
+		}
+		seen[w] = true
+	}
+	if len(cands) != 6 {
+		t.Fatalf("%d candidates, want 6", len(cands))
+	}
+}
+
+func TestSWSAlternatesValidation(t *testing.T) {
+	bad := []ACCORDConfig{
+		{Geom: geom8(), UseSWS: true, SWSAlternates: -1},
+		{Geom: geom8(), UseSWS: true, SWSAlternates: 8},
+		{Geom: geom4(), UseSWS: true, SWSAlternates: 4},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad SWSAlternates config %d accepted", i)
+		}
+	}
+}
+
+func TestSWSMultiAlternateName(t *testing.T) {
+	a := NewACCORD(ACCORDConfig{Geom: geom8(), UseSWS: true, SWSAlternates: 3, UsePWS: true, PIP: 0.85, Seed: 1})
+	if got := a.Name(); got != "pws(85%)+sws(8,4)" {
+		t.Errorf("name = %q, want pws(85%%)+sws(8,4)", got)
+	}
+}
+
+func TestSWSMultiAlternateInstallStaysInCandidates(t *testing.T) {
+	cfg := DefaultACCORD(geom8(), 7)
+	cfg.SWSAlternates = 3
+	a := NewACCORD(cfg)
+	buf := make([]int, 0, 8)
+	for i := 0; i < 5000; i++ {
+		tag := uint64(i * 2654435761)
+		region := memtypes.RegionID(i % 100)
+		w := a.InstallWay(0, tag, region)
+		a.ObserveInstall(0, tag, region, w)
+		ok := false
+		for _, c := range a.CandidateWays(tag, buf) {
+			if c == w {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("install way %d outside candidates for tag %#x", w, tag)
+		}
+	}
+}

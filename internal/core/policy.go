@@ -1,0 +1,275 @@
+// Package core implements the paper's primary contribution: ACCORD,
+// coordinated way-install and way-prediction for set-associative DRAM
+// caches, through the Probabilistic (PWS), Ganged (GWS), and Skewed (SWS)
+// way-steering policies — plus the conventional way predictors it is
+// compared against (random, MRU, and partial-tag).
+//
+// A Policy couples the two decisions the paper coordinates:
+//
+//   - install: which way an incoming line is steered to, and
+//   - prediction: which way a lookup probes first.
+//
+// The DRAM cache (internal/dramcache) drives a Policy through the
+// interface below and keeps it informed of lookup and install outcomes.
+package core
+
+import (
+	"math/rand"
+
+	"accord/internal/memtypes"
+)
+
+// Geometry describes the cache shape a policy operates on.
+type Geometry struct {
+	Sets uint64 // number of sets (power of two)
+	Ways int    // associativity
+}
+
+// Lines returns the total line capacity.
+func (g Geometry) Lines() uint64 { return g.Sets * uint64(g.Ways) }
+
+// Policy couples way-install and way-prediction decisions. Implementations
+// are deterministic given their seed and the call sequence.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// StorageBytes is the SRAM cost of the policy's metadata for the
+	// geometry it was built with (Tables II, IX, X).
+	StorageBytes() int64
+
+	// CandidateWays appends to buf the ways the line with this tag is
+	// allowed to occupy, in miss-confirmation probe order. Most policies
+	// allow every way; SWS restricts lines to two locations.
+	CandidateWays(tag uint64, buf []int) []int
+
+	// PredictWay returns the way a lookup should probe first.
+	PredictWay(set, tag uint64, region memtypes.RegionID) int
+
+	// InstallWay chooses the way to install an incoming line into.
+	InstallWay(set, tag uint64, region memtypes.RegionID) int
+
+	// ObserveAccess informs the policy of a resolved lookup: way is the
+	// way the line was found in (valid only when hit is true).
+	ObserveAccess(set, tag uint64, region memtypes.RegionID, way int, hit bool)
+
+	// ObserveInstall informs the policy that the line was installed at way.
+	ObserveInstall(set, tag uint64, region memtypes.RegionID, way int)
+
+	// FilterMiss reports that the line is certainly absent, letting the
+	// cache skip miss confirmation. Only metadata that sees every resident
+	// line (the partial-tag predictor) can ever return true.
+	FilterMiss(set, tag uint64) bool
+}
+
+// allWays fills buf with 0..ways-1.
+func allWays(ways int, buf []int) []int {
+	buf = buf[:0]
+	for w := 0; w < ways; w++ {
+		buf = append(buf, w)
+	}
+	return buf
+}
+
+// RandPolicy is the no-information baseline: predict a random way, install
+// into a random way (the DRAM cache's update-free random replacement).
+type RandPolicy struct {
+	geom Geometry
+	rng  *rand.Rand
+}
+
+// NewRand builds the random policy.
+func NewRand(geom Geometry, seed int64) *RandPolicy {
+	return &RandPolicy{geom: geom, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *RandPolicy) Name() string { return "rand" }
+
+// StorageBytes implements Policy; the random policy is stateless.
+func (p *RandPolicy) StorageBytes() int64 { return 0 }
+
+// CandidateWays implements Policy.
+func (p *RandPolicy) CandidateWays(tag uint64, buf []int) []int {
+	return allWays(p.geom.Ways, buf)
+}
+
+// PredictWay implements Policy.
+func (p *RandPolicy) PredictWay(set, tag uint64, region memtypes.RegionID) int {
+	return p.rng.Intn(p.geom.Ways)
+}
+
+// InstallWay implements Policy.
+func (p *RandPolicy) InstallWay(set, tag uint64, region memtypes.RegionID) int {
+	return p.rng.Intn(p.geom.Ways)
+}
+
+// ObserveAccess implements Policy.
+func (p *RandPolicy) ObserveAccess(set, tag uint64, region memtypes.RegionID, way int, hit bool) {
+}
+
+// ObserveInstall implements Policy.
+func (p *RandPolicy) ObserveInstall(set, tag uint64, region memtypes.RegionID, way int) {}
+
+// FilterMiss implements Policy.
+func (p *RandPolicy) FilterMiss(set, tag uint64) bool { return false }
+
+// MRUPolicy predicts the most-recently-used way of each set (PSA-cache
+// style, paper Section II-D). Install remains unbiased random. Its per-set
+// storage is what makes it impractical at DRAM-cache scale: 4 MB for a
+// 4 GB 2-way cache.
+type MRUPolicy struct {
+	geom Geometry
+	rng  *rand.Rand
+	mru  []uint8
+}
+
+// NewMRU builds the MRU predictor.
+func NewMRU(geom Geometry, seed int64) *MRUPolicy {
+	return &MRUPolicy{
+		geom: geom,
+		rng:  rand.New(rand.NewSource(seed)),
+		mru:  make([]uint8, geom.Sets),
+	}
+}
+
+// Name implements Policy.
+func (p *MRUPolicy) Name() string { return "mru" }
+
+// StorageBytes implements Policy: ceil(log2(ways)) bits per set.
+func (p *MRUPolicy) StorageBytes() int64 {
+	bitsPerSet := int64(bitsFor(p.geom.Ways))
+	return (int64(p.geom.Sets)*bitsPerSet + 7) / 8
+}
+
+// CandidateWays implements Policy.
+func (p *MRUPolicy) CandidateWays(tag uint64, buf []int) []int {
+	return allWays(p.geom.Ways, buf)
+}
+
+// PredictWay implements Policy.
+func (p *MRUPolicy) PredictWay(set, tag uint64, region memtypes.RegionID) int {
+	return int(p.mru[set])
+}
+
+// InstallWay implements Policy.
+func (p *MRUPolicy) InstallWay(set, tag uint64, region memtypes.RegionID) int {
+	return p.rng.Intn(p.geom.Ways)
+}
+
+// ObserveAccess implements Policy.
+func (p *MRUPolicy) ObserveAccess(set, tag uint64, region memtypes.RegionID, way int, hit bool) {
+	if hit {
+		p.mru[set] = uint8(way)
+	}
+}
+
+// ObserveInstall implements Policy.
+func (p *MRUPolicy) ObserveInstall(set, tag uint64, region memtypes.RegionID, way int) {
+	p.mru[set] = uint8(way)
+}
+
+// FilterMiss implements Policy.
+func (p *MRUPolicy) FilterMiss(set, tag uint64) bool { return false }
+
+// PartialTagPolicy keeps a small partial tag per line (paper Section II-D)
+// and predicts the first way whose partial tag matches. It never misses a
+// resident line (no false negatives), so a set with no partial match is a
+// guaranteed miss — but false positives grow with associativity, which is
+// exactly why its accuracy drops from 97.3% (2-way) to 81.2% (8-way) in
+// Table II. Storage is prohibitive: bits-per-line x 64M lines = 32 MB for
+// a 4 GB cache.
+type PartialTagPolicy struct {
+	geom Geometry
+	rng  *rand.Rand
+	bits uint
+	tags []uint8 // sets*ways partial tags
+	live []bool  // whether the slot has been installed
+}
+
+// NewPartialTag builds a partial-tag predictor with the given tag width
+// (the paper uses 4 bits).
+func NewPartialTag(geom Geometry, bits uint, seed int64) *PartialTagPolicy {
+	if bits == 0 || bits > 8 {
+		bits = 4
+	}
+	n := geom.Lines()
+	return &PartialTagPolicy{
+		geom: geom,
+		rng:  rand.New(rand.NewSource(seed)),
+		bits: bits,
+		tags: make([]uint8, n),
+		live: make([]bool, n),
+	}
+}
+
+// Name implements Policy.
+func (p *PartialTagPolicy) Name() string { return "partialtag" }
+
+// StorageBytes implements Policy.
+func (p *PartialTagPolicy) StorageBytes() int64 {
+	return (int64(p.geom.Lines())*int64(p.bits) + 7) / 8
+}
+
+func (p *PartialTagPolicy) partial(tag uint64) uint8 {
+	return uint8(tag & ((1 << p.bits) - 1))
+}
+
+func (p *PartialTagPolicy) slot(set uint64, way int) int {
+	return int(set)*p.geom.Ways + way
+}
+
+// CandidateWays implements Policy.
+func (p *PartialTagPolicy) CandidateWays(tag uint64, buf []int) []int {
+	return allWays(p.geom.Ways, buf)
+}
+
+// PredictWay implements Policy: the first way whose partial tag matches;
+// way 0 when nothing matches (the lookup is then a guaranteed miss).
+func (p *PartialTagPolicy) PredictWay(set, tag uint64, region memtypes.RegionID) int {
+	pt := p.partial(tag)
+	for w := 0; w < p.geom.Ways; w++ {
+		s := p.slot(set, w)
+		if p.live[s] && p.tags[s] == pt {
+			return w
+		}
+	}
+	return 0
+}
+
+// InstallWay implements Policy.
+func (p *PartialTagPolicy) InstallWay(set, tag uint64, region memtypes.RegionID) int {
+	return p.rng.Intn(p.geom.Ways)
+}
+
+// ObserveAccess implements Policy.
+func (p *PartialTagPolicy) ObserveAccess(set, tag uint64, region memtypes.RegionID, way int, hit bool) {
+}
+
+// ObserveInstall implements Policy.
+func (p *PartialTagPolicy) ObserveInstall(set, tag uint64, region memtypes.RegionID, way int) {
+	s := p.slot(set, way)
+	p.tags[s] = p.partial(tag)
+	p.live[s] = true
+}
+
+// FilterMiss implements Policy.
+func (p *PartialTagPolicy) FilterMiss(set, tag uint64) bool {
+	pt := p.partial(tag)
+	for w := 0; w < p.geom.Ways; w++ {
+		s := p.slot(set, w)
+		if p.live[s] && p.tags[s] == pt {
+			return false
+		}
+	}
+	return true
+}
+
+// bitsFor returns ceil(log2(n)) with a minimum of 1.
+func bitsFor(n int) uint {
+	bits := uint(1)
+	for (1 << bits) < n {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,118 @@
+package core
+
+import "accord/internal/memtypes"
+
+// regionTable is the small fully-associative LRU table used by ganged
+// way-steering: the Recent Install Table (RIT) and the Recent Lookup
+// Table (RLT) are both instances. Entries map a 4 KB RegionID to a way.
+// Capacity is tiny (64 entries in the paper), so an intrusive
+// doubly-linked LRU over a fixed slot array keeps it allocation-free.
+type regionTable struct {
+	cap   int
+	index map[memtypes.RegionID]int // region -> slot
+	slots []rtSlot
+	head  int // MRU slot, -1 when empty
+	tail  int // LRU slot, -1 when empty
+	used  int
+}
+
+type rtSlot struct {
+	region     memtypes.RegionID
+	way        uint8
+	prev, next int
+}
+
+// newRegionTable creates a table of the given capacity.
+func newRegionTable(capacity int) *regionTable {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &regionTable{
+		cap:   capacity,
+		index: make(map[memtypes.RegionID]int, capacity),
+		slots: make([]rtSlot, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+}
+
+// entryBits is the storage cost of one entry: 1 valid bit + 19-bit region
+// tag (paper Section IV-C-2); the way bit(s) are counted separately by the
+// caller but the paper folds them into the 20-bit figure, which we follow.
+const entryBits = 20
+
+// storageBytes returns the SRAM cost of the table.
+func (t *regionTable) storageBytes() int64 {
+	return int64(t.cap) * entryBits / 8
+}
+
+// lookup returns the way recorded for region, refreshing its recency.
+func (t *regionTable) lookup(region memtypes.RegionID) (way int, ok bool) {
+	slot, ok := t.index[region]
+	if !ok {
+		return 0, false
+	}
+	t.moveToFront(slot)
+	return int(t.slots[slot].way), true
+}
+
+// insert records region -> way, evicting the LRU entry when full. An
+// existing entry is updated and refreshed.
+func (t *regionTable) insert(region memtypes.RegionID, way int) {
+	if slot, ok := t.index[region]; ok {
+		t.slots[slot].way = uint8(way)
+		t.moveToFront(slot)
+		return
+	}
+	var slot int
+	if t.used < t.cap {
+		slot = t.used
+		t.used++
+	} else {
+		slot = t.tail
+		t.unlink(slot)
+		delete(t.index, t.slots[slot].region)
+	}
+	t.slots[slot] = rtSlot{region: region, way: uint8(way), prev: -1, next: -1}
+	t.pushFront(slot)
+	t.index[region] = slot
+}
+
+// len returns the number of live entries.
+func (t *regionTable) len() int { return t.used }
+
+func (t *regionTable) moveToFront(slot int) {
+	if t.head == slot {
+		return
+	}
+	t.unlink(slot)
+	t.pushFront(slot)
+}
+
+func (t *regionTable) unlink(slot int) {
+	s := &t.slots[slot]
+	if s.prev >= 0 {
+		t.slots[s.prev].next = s.next
+	} else if t.head == slot {
+		t.head = s.next
+	}
+	if s.next >= 0 {
+		t.slots[s.next].prev = s.prev
+	} else if t.tail == slot {
+		t.tail = s.prev
+	}
+	s.prev, s.next = -1, -1
+}
+
+func (t *regionTable) pushFront(slot int) {
+	s := &t.slots[slot]
+	s.prev = -1
+	s.next = t.head
+	if t.head >= 0 {
+		t.slots[t.head].prev = slot
+	}
+	t.head = slot
+	if t.tail < 0 {
+		t.tail = slot
+	}
+}

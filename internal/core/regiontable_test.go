@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"accord/internal/memtypes"
+)
+
+func TestRegionTableBasic(t *testing.T) {
+	rt := newRegionTable(4)
+	if _, ok := rt.lookup(1); ok {
+		t.Fatal("hit in empty table")
+	}
+	rt.insert(1, 1)
+	way, ok := rt.lookup(1)
+	if !ok || way != 1 {
+		t.Fatalf("lookup = %d,%v want 1,true", way, ok)
+	}
+	// Update in place.
+	rt.insert(1, 0)
+	if way, _ := rt.lookup(1); way != 0 {
+		t.Errorf("update not applied, way = %d", way)
+	}
+	if rt.len() != 1 {
+		t.Errorf("len = %d, want 1", rt.len())
+	}
+}
+
+func TestRegionTableLRUEviction(t *testing.T) {
+	rt := newRegionTable(3)
+	rt.insert(1, 0)
+	rt.insert(2, 1)
+	rt.insert(3, 0)
+	// Touch 1 so 2 becomes LRU.
+	rt.lookup(1)
+	rt.insert(4, 1)
+	if _, ok := rt.lookup(2); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	for _, r := range []memtypes.RegionID{1, 3, 4} {
+		if _, ok := rt.lookup(r); !ok {
+			t.Errorf("entry %d missing", r)
+		}
+	}
+	if rt.len() != 3 {
+		t.Errorf("len = %d, want 3", rt.len())
+	}
+}
+
+func TestRegionTableRefreshOnInsert(t *testing.T) {
+	rt := newRegionTable(2)
+	rt.insert(1, 0)
+	rt.insert(2, 0)
+	rt.insert(1, 1) // refresh 1; 2 is now LRU
+	rt.insert(3, 0)
+	if _, ok := rt.lookup(2); ok {
+		t.Error("entry 2 should have been evicted")
+	}
+	if _, ok := rt.lookup(1); !ok {
+		t.Error("refreshed entry 1 evicted")
+	}
+}
+
+func TestRegionTableCapacityOne(t *testing.T) {
+	rt := newRegionTable(1)
+	rt.insert(1, 0)
+	rt.insert(2, 1)
+	if _, ok := rt.lookup(1); ok {
+		t.Error("capacity-1 table retained old entry")
+	}
+	if w, ok := rt.lookup(2); !ok || w != 1 {
+		t.Error("capacity-1 table lost newest entry")
+	}
+}
+
+func TestRegionTableZeroCapacityClamped(t *testing.T) {
+	rt := newRegionTable(0)
+	rt.insert(1, 0)
+	if _, ok := rt.lookup(1); !ok {
+		t.Error("clamped table unusable")
+	}
+}
+
+func TestRegionTableStorage(t *testing.T) {
+	// Paper Section VI-C: 64 entries x 20 bits = 160 bytes per table.
+	rt := newRegionTable(64)
+	if got := rt.storageBytes(); got != 160 {
+		t.Errorf("storage = %d bytes, want 160", got)
+	}
+}
+
+func TestRegionTableChurn(t *testing.T) {
+	rt := newRegionTable(8)
+	for i := 0; i < 10000; i++ {
+		rt.insert(memtypes.RegionID(i%32), i%2)
+		if rt.len() > 8 {
+			t.Fatalf("table overflowed: %d entries", rt.len())
+		}
+	}
+	// The most recent 8 distinct regions must be present.
+	for i := 9999; i > 9999-8; i-- {
+		if _, ok := rt.lookup(memtypes.RegionID(i % 32)); !ok {
+			t.Errorf("recent region %d missing", i%32)
+		}
+	}
+}

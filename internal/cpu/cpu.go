@@ -1,0 +1,176 @@
+// Package cpu models the processor cores of Table III: 2-wide out-of-order
+// cores reduced to the features that matter for a memory-system study.
+// A core executes the instruction gaps between memory events at its issue
+// width, overlaps independent misses up to an MSHR limit, and serializes
+// on dependent loads — so the memory system's latency *and* bandwidth both
+// feed back into the core's instruction throughput, which is what the
+// paper's speedup numbers measure.
+package cpu
+
+import (
+	"fmt"
+
+	"accord/internal/memtypes"
+	"accord/internal/workloads"
+)
+
+// MemorySystem is what a core needs from everything below the SRAM
+// hierarchy: reads return their completion cycle; writes (dirty
+// writebacks) are fire-and-forget through the write buffer.
+type MemorySystem interface {
+	Read(at int64, line memtypes.LineAddr) (done int64)
+	Write(at int64, line memtypes.LineAddr)
+}
+
+// Params configures a core.
+type Params struct {
+	IssueWidth int   // instructions per cycle for non-memory work
+	MSHRs      int   // maximum outstanding independent misses
+	SRAMLat    int64 // L1+L2+L3 lookup cycles on the miss path
+}
+
+// DefaultParams returns the Table III core: 2-wide with 8 MSHRs.
+func DefaultParams() Params {
+	return Params{IssueWidth: 2, MSHRs: 12, SRAMLat: 51}
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (p Params) Validate() error {
+	if p.IssueWidth < 1 {
+		return fmt.Errorf("cpu: issue width %d must be >= 1", p.IssueWidth)
+	}
+	if p.MSHRs < 1 {
+		return fmt.Errorf("cpu: MSHRs %d must be >= 1", p.MSHRs)
+	}
+	if p.SRAMLat < 0 {
+		return fmt.Errorf("cpu: SRAM latency %d must be >= 0", p.SRAMLat)
+	}
+	return nil
+}
+
+// Translate maps a virtual line address to a physical one.
+type Translate func(memtypes.LineAddr) memtypes.LineAddr
+
+// Core is one processor core consuming its workload stream. It is not
+// safe for concurrent use.
+type Core struct {
+	id        int
+	params    Params
+	stream    workloads.Stream
+	translate Translate
+	mem       MemorySystem
+
+	time      int64
+	instr     int64
+	instCarry int64
+	mshr      []int64 // completion cycles of in-flight misses
+
+	markTime  int64
+	markInstr int64
+
+	reads, writes, depStalls, mshrStalls uint64
+}
+
+// New builds a core. It panics on invalid parameters.
+func New(id int, params Params, stream workloads.Stream, translate Translate, mem MemorySystem) *Core {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{
+		id:        id,
+		params:    params,
+		stream:    stream,
+		translate: translate,
+		mem:       mem,
+		mshr:      make([]int64, params.MSHRs),
+	}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Time returns the core's current cycle.
+func (c *Core) Time() int64 { return c.time }
+
+// Instructions returns the total instructions retired.
+func (c *Core) Instructions() int64 { return c.instr }
+
+// Step consumes and executes one workload event.
+func (c *Core) Step() {
+	var ev workloads.Event
+	c.stream.Next(&ev)
+
+	// Non-memory instructions retire at the issue width; the remainder
+	// carries so long-run throughput is exact.
+	c.instCarry += int64(ev.Gap)
+	c.time += c.instCarry / int64(c.params.IssueWidth)
+	c.instCarry %= int64(c.params.IssueWidth)
+
+	line := c.translate(ev.Line)
+	switch {
+	case ev.Write:
+		// Dirty writeback: drains through the write buffer without
+		// stalling the core.
+		c.writes++
+		c.mem.Write(c.time+c.params.SRAMLat, line)
+	default:
+		c.reads++
+		slot := c.admit()
+		done := c.mem.Read(c.time+c.params.SRAMLat, line)
+		if ev.Dep {
+			// The core cannot run ahead of a dependent load.
+			c.depStalls++
+			c.time = done
+			c.mshr[slot] = done
+		} else {
+			c.mshr[slot] = done
+		}
+	}
+	c.instr += int64(ev.Gap) + 1
+}
+
+// admit finds a free MSHR, stalling the core until the oldest outstanding
+// miss completes when all are busy.
+func (c *Core) admit() int {
+	best := 0
+	for i, t := range c.mshr {
+		if t <= c.time {
+			return i
+		}
+		if t < c.mshr[best] {
+			best = i
+		}
+	}
+	// All busy: wait for the earliest completion.
+	c.mshrStalls++
+	c.time = c.mshr[best]
+	return best
+}
+
+// MarkWindow starts a measurement window at the current point; IPC is
+// reported relative to the latest mark (used to exclude warmup).
+func (c *Core) MarkWindow() {
+	c.markTime = c.time
+	c.markInstr = c.instr
+}
+
+// WindowInstructions returns instructions retired since the last mark.
+func (c *Core) WindowInstructions() int64 { return c.instr - c.markInstr }
+
+// WindowCycles returns cycles elapsed since the last mark.
+func (c *Core) WindowCycles() int64 { return c.time - c.markTime }
+
+// IPC returns instructions per cycle since the last mark.
+func (c *Core) IPC() float64 {
+	cyc := c.WindowCycles()
+	if cyc <= 0 {
+		return 0
+	}
+	return float64(c.WindowInstructions()) / float64(cyc)
+}
+
+// Counters reports the core's event counts (reads, writes, dependent-load
+// stalls, MSHR-full stalls).
+func (c *Core) Counters() (reads, writes, depStalls, mshrStalls uint64) {
+	return c.reads, c.writes, c.depStalls, c.mshrStalls
+}

@@ -1,0 +1,157 @@
+package dram
+
+import (
+	"testing"
+
+	"accord/internal/memtypes"
+)
+
+// These tests pin down the two controller behaviours added during
+// calibration: busy-interval backfill on the data bus, and the
+// read-priority write queue.
+
+func TestBackfillAllowsEarlierRequests(t *testing.T) {
+	d := New(HBM(), cyclesPerNS)
+	// Reserve the bus far in the future via a read issued at t=10000.
+	late := d.Access(10000, Loc{Channel: 0, Bank: 0, Row: 0}, memtypes.Read, 64)
+	if late.DataAt <= 10000 {
+		t.Fatal("future read did not complete in the future")
+	}
+	// A read issued at t=0 on the same channel must NOT wait for the
+	// future reservation: the bus is idle until then.
+	early := d.Access(0, Loc{Channel: 0, Bank: 1, Row: 0}, memtypes.Read, 64)
+	if early.DataAt >= 10000 {
+		t.Errorf("early read queued behind a future reservation: done at %d", early.DataAt)
+	}
+	if early.DataAt != d.UnloadedReadLatency(64) {
+		t.Errorf("early read latency = %d, want unloaded %d", early.DataAt, d.UnloadedReadLatency(64))
+	}
+}
+
+func TestBackfillStillSerializesOverlap(t *testing.T) {
+	d := New(HBM(), cyclesPerNS)
+	// Two same-time reads on one channel still serialize on the bus.
+	r1 := d.Access(0, Loc{Channel: 0, Bank: 0, Row: 0}, memtypes.Read, 64)
+	r2 := d.Access(0, Loc{Channel: 0, Bank: 1, Row: 0}, memtypes.Read, 64)
+	if r2.DataAt == r1.DataAt {
+		t.Error("overlapping transfers not serialized")
+	}
+}
+
+func TestWriteQueueAbsorbsWrites(t *testing.T) {
+	d := New(HBM(), cyclesPerNS)
+	loc := Loc{Channel: 0, Bank: 0, Row: 0}
+	d.Access(0, loc, memtypes.Read, 64) // open the row
+	// A handful of writes below queue capacity must not delay a read.
+	for i := 0; i < 8; i++ {
+		d.Access(1000, Loc{Channel: 0, Bank: 2, Row: 5}, memtypes.Write, 64)
+	}
+	r := d.Access(1000, loc, memtypes.Read, 64)
+	want := int64(1000) + d.RowHitReadLatency(64)
+	if r.DataAt > want+d.transferCycles(64) {
+		t.Errorf("read delayed by buffered writes: done %d, want <= %d", r.DataAt, want+d.transferCycles(64))
+	}
+}
+
+func TestWriteQueueOverflowStallsReads(t *testing.T) {
+	d := New(HBM(), cyclesPerNS)
+	loc := Loc{Channel: 0, Bank: 0, Row: 0}
+	d.Access(0, loc, memtypes.Read, 64)
+	// Flood the write queue far past its 32-entry capacity.
+	for i := 0; i < 500; i++ {
+		d.Access(1000, Loc{Channel: 0, Bank: 2, Row: 5}, memtypes.Write, 64)
+	}
+	r := d.Access(1000, loc, memtypes.Read, 64)
+	unstalled := int64(1000) + d.RowHitReadLatency(64)
+	if r.DataAt <= unstalled {
+		t.Errorf("read ignored write-queue overflow: done %d", r.DataAt)
+	}
+}
+
+func TestWriteQueueDrainsInIdleGaps(t *testing.T) {
+	d := New(HBM(), cyclesPerNS)
+	// Enqueue a burst of writes at t=0.
+	for i := 0; i < 40; i++ {
+		d.Access(0, Loc{Channel: 0, Bank: 2, Row: 5}, memtypes.Write, 64)
+	}
+	// A read far in the future sees a drained queue.
+	r := d.Access(1_000_000, Loc{Channel: 0, Bank: 0, Row: 0}, memtypes.Read, 64)
+	if got := r.DataAt - 1_000_000; got != d.UnloadedReadLatency(64) {
+		t.Errorf("read after long idle = %d cycles, want unloaded %d", got, d.UnloadedReadLatency(64))
+	}
+}
+
+func TestWriteCompletionIncludesBacklog(t *testing.T) {
+	d := New(PCM(), cyclesPerNS)
+	loc := Loc{Channel: 0, Bank: 0, Row: 0}
+	w1 := d.Access(0, loc, memtypes.Write, 64)
+	w2 := d.Access(0, loc, memtypes.Write, 64)
+	if w2.DataAt <= w1.DataAt {
+		t.Error("queued write did not complete after its predecessor")
+	}
+}
+
+func TestWriteDrainOccupancy(t *testing.T) {
+	// PCM writes drain at tWR/WriteDrainWays, slower than the raw
+	// transfer; HBM writes are transfer-bound.
+	pcm := New(PCM(), cyclesPerNS)
+	if occ := pcm.writeOcc(64); occ != pcm.tWR/int64(pcm.cfg.WriteDrainWays) {
+		t.Errorf("PCM write occupancy = %d, want %d", occ, pcm.tWR/int64(pcm.cfg.WriteDrainWays))
+	}
+	hbm := New(HBM(), cyclesPerNS)
+	if occ := hbm.writeOcc(64); occ != hbm.transferCycles(64) {
+		t.Errorf("HBM write occupancy = %d, want transfer %d", occ, hbm.transferCycles(64))
+	}
+}
+
+func TestBusyIntervalBounded(t *testing.T) {
+	d := New(HBM(), cyclesPerNS)
+	// Scatter reads at wildly increasing times; the interval list must
+	// stay bounded (no unbounded growth).
+	for i := 0; i < 10000; i++ {
+		d.Access(int64(i)*1000, Loc{Channel: 0, Bank: i % 16, Row: uint64(i)}, memtypes.Read, 64)
+	}
+	if n := len(d.channels[0].busy); n > maxBusyIntervals {
+		t.Errorf("busy list grew to %d, cap %d", n, maxBusyIntervals)
+	}
+}
+
+func TestReserveMergesAdjacent(t *testing.T) {
+	ch := &channel{}
+	a := ch.reserve(0, 10)
+	b := ch.reserve(0, 10) // lands right after: [0,10)+[10,20) merge
+	if a != 0 || b != 10 {
+		t.Fatalf("reservations at %d,%d, want 0,10", a, b)
+	}
+	if len(ch.busy) != 1 || ch.busy[0].start != 0 || ch.busy[0].end != 20 {
+		t.Errorf("intervals not merged: %+v", ch.busy)
+	}
+	// A later disjoint reservation creates a second interval.
+	c := ch.reserve(100, 5)
+	if c != 100 || len(ch.busy) != 2 {
+		t.Errorf("disjoint reservation wrong: start %d, intervals %+v", c, ch.busy)
+	}
+	// Backfill into the gap between them.
+	g := ch.reserve(20, 30)
+	if g != 20 {
+		t.Errorf("gap reservation at %d, want 20", g)
+	}
+	// Request that does not fit before interval at 100 pushes past it.
+	h := ch.reserve(95, 20)
+	if h != 105 {
+		t.Errorf("oversized reservation at %d, want 105 (after busy interval)", h)
+	}
+}
+
+func TestReserveFillsExactGap(t *testing.T) {
+	ch := &channel{}
+	ch.reserve(0, 10)
+	ch.reserve(20, 10)
+	// A 10-cycle request fits exactly into [10,20).
+	if got := ch.reserve(5, 10); got != 10 {
+		t.Errorf("exact-gap reservation at %d, want 10", got)
+	}
+	if len(ch.busy) != 1 || ch.busy[0] != (busyIvl{0, 30}) {
+		t.Errorf("intervals not fully merged: %+v", ch.busy)
+	}
+}

@@ -1,0 +1,448 @@
+// Package dram models DRAM-like memory devices (stacked HBM and PCM-style
+// non-volatile memory) with a resource-reservation timing model: channels
+// with shared data buses, banks with open-row state, and the
+// tCAS/tRCD/tRP/tRAS/tWR timing constraints of the paper's Table III.
+//
+// Instead of ticking every cycle, each access computes its completion time
+// as the max of the ready times of the resources it needs (bank, row, data
+// bus) and then advances those resources. Queueing delay under bandwidth
+// pressure and row-buffer locality emerge naturally, at a cost of
+// O(1) work per access.
+package dram
+
+import (
+	"fmt"
+	"math"
+
+	"accord/internal/memtypes"
+)
+
+// Config describes one memory device.
+type Config struct {
+	Name            string
+	Channels        int
+	BanksPerChannel int
+	RowBytes        int // row-buffer size per bank
+
+	// Core timing parameters, nanoseconds.
+	TCAS float64 // column access (CAS) latency
+	TRCD float64 // row activate to column command
+	TRP  float64 // precharge
+	TRAS float64 // minimum row-open time before precharge
+	TWR  float64 // write recovery (dominant for PCM writes)
+
+	// Data bus: one beat moves BeatBytes in BeatNS nanoseconds.
+	BeatBytes int
+	BeatNS    float64
+
+	// ECCSidecarBytes models KNL-style stacked DRAM whose ECC bits travel
+	// on a separate sidecar bus alongside each data beat (the paper's
+	// footnote 1: a 16-byte data bus plus a 2-byte ECC bus, with tags kept
+	// in unused ECC bits). Each beat then carries BeatBytes of data plus
+	// this many sidecar bytes at no extra data-bus occupancy, so a 72-byte
+	// tag+data unit costs only 64 bytes of bus time.
+	ECCSidecarBytes int
+
+	// WriteDrainWays is the number of banks the write queue can drain
+	// into concurrently. A buffered write occupies the channel for
+	// max(transfer time, tWR/WriteDrainWays), so devices with slow cell
+	// writes (PCM) sustain proportionally less write bandwidth. Zero
+	// means transfer-time only.
+	WriteDrainWays int
+
+	// WriteQueueDepth is the per-channel write-queue capacity in entries
+	// (64-byte units). Reads stall on write traffic only once this queue
+	// overflows. Zero selects the default of 32.
+	WriteQueueDepth int
+
+	// Per-operation energy, nanojoules; consumed by internal/energy.
+	EActivateNJ  float64 // one row activation
+	EReadUnitNJ  float64 // one column read (per transferred unit)
+	EWriteUnitNJ float64 // one column write (per transferred unit)
+	BackgroundW  float64 // static+refresh power for the whole device
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("dram %s: Channels = %d, must be positive", c.Name, c.Channels)
+	case c.BanksPerChannel <= 0:
+		return fmt.Errorf("dram %s: BanksPerChannel = %d, must be positive", c.Name, c.BanksPerChannel)
+	case c.RowBytes <= 0:
+		return fmt.Errorf("dram %s: RowBytes = %d, must be positive", c.Name, c.RowBytes)
+	case c.BeatBytes <= 0 || c.BeatNS <= 0:
+		return fmt.Errorf("dram %s: data bus (%d B / %.2f ns) must be positive", c.Name, c.BeatBytes, c.BeatNS)
+	case c.TCAS < 0 || c.TRCD < 0 || c.TRP < 0 || c.TRAS < 0 || c.TWR < 0:
+		return fmt.Errorf("dram %s: negative timing parameter", c.Name)
+	}
+	return nil
+}
+
+// PeakBandwidthGBs returns the aggregate peak data-bus bandwidth in GB/s.
+func (c Config) PeakBandwidthGBs() float64 {
+	return float64(c.Channels) * float64(c.BeatBytes) / c.BeatNS
+}
+
+// HBM returns the stacked-DRAM cache device of Table III: 8 channels of
+// 128-bit bus at 500 MHz DDR (1 GT/s), 128 GB/s aggregate.
+func HBM() Config {
+	return Config{
+		Name:            "hbm",
+		Channels:        8,
+		BanksPerChannel: 32, // HBM2-class bank-group parallelism
+		RowBytes:        2048,
+		TCAS:            13, TRCD: 13, TRP: 13, TRAS: 30, TWR: 15,
+		BeatBytes: 16, BeatNS: 1.0, // 16 GB/s per channel
+		ECCSidecarBytes: 2, // tags travel in the ECC space (footnote 1)
+		EActivateNJ:     0.9, EReadUnitNJ: 1.2, EWriteUnitNJ: 1.4,
+		BackgroundW: 2.0,
+	}
+}
+
+// PCM returns the non-volatile main memory of Table III: 2 channels of
+// 64-bit bus at 1 GHz DDR (2 GT/s), 32 GB/s aggregate. Read latency is
+// roughly 3x and write recovery roughly 10x the DRAM-cache equivalents,
+// inside the paper's 2-4x read / 4x write envelope for end-to-end latency.
+func PCM() Config {
+	return Config{
+		Name:            "pcm",
+		Channels:        2,
+		BanksPerChannel: 64, // PCM-class memories expose wide partition-level parallelism
+		RowBytes:        64, // effectively closed-row: PCM has no open-page benefit
+		TCAS:            13, TRCD: 100, TRP: 13, TRAS: 120, TWR: 150,
+		BeatBytes: 8, BeatNS: 0.5, // 16 GB/s per channel
+		WriteDrainWays: 12, // sustained write bandwidth ~1/3 of read
+		EActivateNJ:    2.5, EReadUnitNJ: 3.0, EWriteUnitNJ: 12.0,
+		BackgroundW: 0.5,
+	}
+}
+
+// Loc addresses one row of one bank.
+type Loc struct {
+	Channel int
+	Bank    int
+	Row     uint64
+}
+
+// MapUnit maps a linear unit index (a cache set, or a memory line frame)
+// to a device location. Units that share a row are adjacent
+// (unit/unitsPerRow selects the row), and consecutive rows stripe across
+// channels and then banks so that independent accesses spread out.
+func (c Config) MapUnit(unit uint64, unitsPerRow int) Loc {
+	if unitsPerRow < 1 {
+		unitsPerRow = 1
+	}
+	rowID := unit / uint64(unitsPerRow)
+	ch := int(rowID % uint64(c.Channels))
+	rest := rowID / uint64(c.Channels)
+	bank := int(rest % uint64(c.BanksPerChannel))
+	row := rest / uint64(c.BanksPerChannel)
+	return Loc{Channel: ch, Bank: bank, Row: row}
+}
+
+// Result reports the timing of one access.
+type Result struct {
+	// DataAt is the cycle at which the transfer completes: read data has
+	// fully arrived, or write data has been accepted by the device.
+	DataAt int64
+	// RowHit records whether the access hit the open row buffer.
+	RowHit bool
+}
+
+// Stats are the cumulative operation counts of a device, the inputs to the
+// energy model and the bandwidth accounting.
+type Stats struct {
+	Activates    uint64
+	Reads        uint64 // column read operations
+	Writes       uint64 // column write operations
+	BytesRead    uint64
+	BytesWritten uint64
+	RowHits      uint64
+	RowMisses    uint64
+	// BusBusy accumulates cycles during which some channel data bus was
+	// transferring (summed over channels; divide by Channels for average
+	// utilization).
+	BusBusy int64
+	// ReadLatency accumulates (completion - issue) over reads, for mean
+	// device-level read latency reporting.
+	ReadLatency int64
+	// BankWait accumulates cycles reads spent waiting for a busy bank;
+	// BusWait accumulates cycles spent waiting for the data bus.
+	BankWait int64
+	BusWait  int64
+}
+
+type bank struct {
+	rowOpen bool
+	openRow uint64
+	readyAt int64 // earliest cycle for the next column command
+	actAt   int64 // cycle of the last activation (for tRAS)
+}
+
+// maxBusyIntervals bounds the per-channel busy-interval history used for
+// data-bus backfill. Requests arriving earlier than the oldest tracked
+// interval are rare; dropping history is conservative only for them.
+const maxBusyIntervals = 24
+
+type busyIvl struct{ start, end int64 }
+
+type channel struct {
+	// busy holds the channel data bus's scheduled transfer windows,
+	// sorted and non-overlapping. Keeping intervals instead of a single
+	// next-free scalar lets a transfer scheduled in the near future (a
+	// dependent second probe, a fill) coexist with earlier idle time:
+	// requests backfill gaps instead of queueing behind reservations that
+	// have not happened yet.
+	busy         []busyIvl
+	writeBacklog int64 // queued write-drain cycles
+	banks        []bank
+}
+
+// lastEnd returns the end of the latest scheduled transfer.
+func (ch *channel) lastEnd() int64 {
+	if len(ch.busy) == 0 {
+		return 0
+	}
+	return ch.busy[len(ch.busy)-1].end
+}
+
+// reserve finds the earliest start >= from where the bus is free for dur
+// cycles, books it, and returns it.
+func (ch *channel) reserve(from, dur int64) int64 {
+	t := from
+	idx := 0
+	for i, iv := range ch.busy {
+		if iv.end <= t {
+			idx = i + 1
+			continue
+		}
+		if iv.start >= t+dur {
+			idx = i
+			break
+		}
+		t = iv.end
+		idx = i + 1
+	}
+	// Insert [t, t+dur) at idx, merging with touching neighbours.
+	nb := busyIvl{start: t, end: t + dur}
+	if idx > 0 && ch.busy[idx-1].end == nb.start {
+		ch.busy[idx-1].end = nb.end
+		if idx < len(ch.busy) && ch.busy[idx].start == nb.end {
+			ch.busy[idx-1].end = ch.busy[idx].end
+			ch.busy = append(ch.busy[:idx], ch.busy[idx+1:]...)
+		}
+	} else if idx < len(ch.busy) && ch.busy[idx].start == nb.end {
+		ch.busy[idx].start = nb.start
+	} else {
+		ch.busy = append(ch.busy, busyIvl{})
+		copy(ch.busy[idx+1:], ch.busy[idx:])
+		ch.busy[idx] = nb
+	}
+	if len(ch.busy) > maxBusyIntervals {
+		ch.busy = ch.busy[len(ch.busy)-maxBusyIntervals:]
+	}
+	return t
+}
+
+// Device is a single memory device instance. It is not safe for concurrent
+// use; the simulator is single-goroutine by design.
+type Device struct {
+	cfg Config
+
+	// Timing parameters converted to CPU cycles.
+	tCAS, tRCD, tRP, tRAS, tWR int64
+	cyclesPerNS                float64
+
+	channels      []channel
+	writeQueueCap int64 // backlog cycles at which reads start stalling
+	stats         Stats
+}
+
+// New builds a device from cfg, with time measured in CPU cycles
+// (cyclesPerNS = CPU GHz). It panics on an invalid configuration, which is
+// always a programming error in this codebase.
+func New(cfg Config, cyclesPerNS float64) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cyclesPerNS <= 0 {
+		panic(fmt.Sprintf("dram %s: cyclesPerNS = %v, must be positive", cfg.Name, cyclesPerNS))
+	}
+	d := &Device{
+		cfg:         cfg,
+		cyclesPerNS: cyclesPerNS,
+		tCAS:        toCycles(cfg.TCAS, cyclesPerNS),
+		tRCD:        toCycles(cfg.TRCD, cyclesPerNS),
+		tRP:         toCycles(cfg.TRP, cyclesPerNS),
+		tRAS:        toCycles(cfg.TRAS, cyclesPerNS),
+		tWR:         toCycles(cfg.TWR, cyclesPerNS),
+		channels:    make([]channel, cfg.Channels),
+	}
+	depth := cfg.WriteQueueDepth
+	if depth <= 0 {
+		depth = 32
+	}
+	d.writeQueueCap = int64(depth) * d.writeOcc(memtypes.LineSize)
+	for i := range d.channels {
+		d.channels[i].banks = make([]bank, cfg.BanksPerChannel)
+	}
+	return d
+}
+
+func toCycles(ns, cyclesPerNS float64) int64 {
+	return int64(math.Ceil(ns * cyclesPerNS))
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns the cumulative statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the statistics without disturbing bank/bus state; used
+// after warmup.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// transferCycles returns the bus occupancy for a payload of n bytes. With
+// an ECC sidecar, each beat moves BeatBytes+ECCSidecarBytes, so
+// tags-with-data units ride free alongside their data.
+func (d *Device) transferCycles(bytes int) int64 {
+	per := d.cfg.BeatBytes + d.cfg.ECCSidecarBytes
+	beats := (bytes + per - 1) / per
+	return toCycles(float64(beats)*d.cfg.BeatNS, d.cyclesPerNS)
+}
+
+// writeOcc returns the channel-drain occupancy of one buffered write: the
+// bus transfer, or the cell-write time divided across the banks the write
+// queue drains into, whichever is slower.
+func (d *Device) writeOcc(bytes int) int64 {
+	occ := d.transferCycles(bytes)
+	if d.cfg.WriteDrainWays > 0 {
+		if drain := d.tWR / int64(d.cfg.WriteDrainWays); drain > occ {
+			occ = drain
+		}
+	}
+	return occ
+}
+
+// Access performs one read or write of the given payload at loc, earliest
+// at cycle `at`, and returns its completion time. The caller is responsible
+// for issuing accesses in (approximately) non-decreasing time order.
+//
+// Writes model a buffered write queue with read priority, as in real
+// memory controllers: a write lands in the channel's write queue (cost:
+// energy plus queue occupancy) and drains during bus idle gaps; reads see
+// write traffic only when the queue overflows, at which point the
+// overflow drains ahead of them. Writes do not perturb bank or row state
+// visible to reads. The write-recovery cost (tWR, dominant for PCM) is
+// part of each write's drain occupancy via WriteDrainWays.
+func (d *Device) Access(at int64, loc Loc, kind memtypes.Kind, bytes int) Result {
+	ch := &d.channels[loc.Channel%d.cfg.Channels]
+	bk := &ch.banks[loc.Bank%d.cfg.BanksPerChannel]
+
+	if kind == memtypes.Write {
+		occ := d.writeOcc(bytes)
+		d.drainWrites(ch, at)
+		ch.writeBacklog += occ
+		d.stats.Writes++
+		d.stats.BytesWritten += uint64(bytes)
+		// Nominal completion for the writer: queued behind the current
+		// backlog, then cell-write recovery.
+		return Result{DataAt: max64(at, ch.lastEnd()) + ch.writeBacklog + d.tWR, RowHit: true}
+	}
+
+	start := max64(at, bk.readyAt)
+	d.stats.BankWait += start - at
+	rowHit := bk.rowOpen && bk.openRow == loc.Row
+	var rowReadyAt int64
+	if rowHit {
+		rowReadyAt = start
+		d.stats.RowHits++
+	} else {
+		// If a different row is open, precharge it first (no earlier than
+		// tRAS after its activation); a closed bank activates immediately.
+		actAt := start
+		if bk.rowOpen {
+			preAt := max64(start, bk.actAt+d.tRAS)
+			actAt = preAt + d.tRP
+		}
+		rowReadyAt = actAt + d.tRCD
+		bk.rowOpen = true
+		bk.openRow = loc.Row
+		bk.actAt = actAt
+		d.stats.Activates++
+		d.stats.RowMisses++
+	}
+
+	casDoneAt := rowReadyAt + d.tCAS
+	xfer := d.transferCycles(bytes)
+
+	// The bus idle gap until this read's data phase drains buffered
+	// writes; reads stall on writes only past the queue capacity.
+	d.drainWrites(ch, casDoneAt)
+	need := xfer
+	if over := ch.writeBacklog - d.writeQueueCap; over > 0 {
+		// Queue overflow: the excess must drain ahead of this read.
+		need += over
+		ch.writeBacklog -= over
+		d.stats.BusBusy += over
+	}
+
+	slot := ch.reserve(casDoneAt, need)
+	busStart := slot + (need - xfer) // data phase after any forced drain
+	d.stats.BusWait += busStart - casDoneAt
+	dataAt := busStart + xfer
+	d.stats.BusBusy += xfer
+
+	// Subsequent column commands to the open row can pipeline; the data
+	// bus is the serializing resource, so a row hit leaves the bank ready
+	// time alone (never pushing it into the future past other requesters).
+	if !rowHit {
+		bk.readyAt = rowReadyAt
+	}
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(bytes)
+	d.stats.ReadLatency += dataAt - at
+	return Result{DataAt: dataAt, RowHit: rowHit}
+}
+
+// drainWrites retires backlogged writes into the bus idle time before
+// `until`, consuming real bus occupancy for what it drains.
+func (d *Device) drainWrites(ch *channel, until int64) {
+	idle := until - ch.lastEnd()
+	if idle <= 0 || ch.writeBacklog == 0 {
+		return
+	}
+	drained := min64(ch.writeBacklog, idle)
+	ch.reserve(ch.lastEnd(), drained)
+	ch.writeBacklog -= drained
+	d.stats.BusBusy += drained
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// UnloadedReadLatency returns the latency in cycles of an isolated read of
+// the given payload on a closed (precharged) bank — the "row miss, idle
+// system" case, useful for tests and for reporting.
+func (d *Device) UnloadedReadLatency(bytes int) int64 {
+	return d.tRCD + d.tCAS + d.transferCycles(bytes)
+}
+
+// RowHitReadLatency returns the latency of an isolated read that hits the
+// open row.
+func (d *Device) RowHitReadLatency(bytes int) int64 {
+	return d.tCAS + d.transferCycles(bytes)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package dramcache
+
+import (
+	"fmt"
+
+	"accord/internal/dram"
+	"accord/internal/memtypes"
+)
+
+// CACache is the Column-Associative (hash-rehash) baseline of Section VII:
+// a direct-mapped DRAM cache in which every line has a primary index and a
+// rehash index (the primary with its top set bit flipped). A hit at the
+// primary index costs one access; a hit at the rehash index costs a second
+// access plus a swap of the two units, so the line is fast next time.
+// The swap traffic is what makes the CA-cache lose to ACCORD (Figure 14)
+// despite a similar one-access hit probability.
+type CACache struct {
+	dev *dram.Device
+	nvm *dram.Device
+
+	sets    uint64 // direct-mapped slot count
+	flipBit uint64 // XOR mask flipping the top index bit
+
+	lines []memtypes.LineAddr // resident line per slot
+	valid []bool
+	dirty []bool
+
+	unitsPerRow    int
+	nvmUnitsPerRow int
+
+	stats Stats
+}
+
+// NewCA builds a column-associative cache of the given capacity.
+func NewCA(capacityBytes int64, dev, nvm *dram.Device) *CACache {
+	cfg := Config{CapacityBytes: capacityBytes, Ways: 1}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := uint64(capacityBytes / memtypes.LineSize)
+	if sets < 2 {
+		panic(fmt.Sprintf("dramcache: CA cache needs >= 2 slots, got %d", sets))
+	}
+	upr := dev.Config().RowBytes / memtypes.TagUnitSize
+	if upr < 1 {
+		upr = 1
+	}
+	nvmUPR := nvm.Config().RowBytes / memtypes.LineSize
+	if nvmUPR < 1 {
+		nvmUPR = 1
+	}
+	return &CACache{
+		dev:            dev,
+		nvm:            nvm,
+		sets:           sets,
+		flipBit:        sets >> 1,
+		lines:          make([]memtypes.LineAddr, sets),
+		valid:          make([]bool, sets),
+		dirty:          make([]bool, sets),
+		unitsPerRow:    upr,
+		nvmUnitsPerRow: nvmUPR,
+	}
+}
+
+// Name implements Interface.
+func (c *CACache) Name() string { return "ca-cache" }
+
+// Stats implements Interface.
+func (c *CACache) Stats() *Stats { return &c.stats }
+
+// ResetStats implements Interface.
+func (c *CACache) ResetStats() { c.stats = Stats{} }
+
+// StorageBytes implements Interface: the CA-cache needs no SRAM metadata.
+func (c *CACache) StorageBytes() int64 { return 0 }
+
+func (c *CACache) primary(line memtypes.LineAddr) uint64 { return uint64(line) & (c.sets - 1) }
+func (c *CACache) rehash(idx uint64) uint64              { return idx ^ c.flipBit }
+
+func (c *CACache) loc(idx uint64) dram.Loc {
+	return c.dev.Config().MapUnit(idx, c.unitsPerRow)
+}
+
+func (c *CACache) nvmLoc(line memtypes.LineAddr) dram.Loc {
+	return c.nvm.Config().MapUnit(uint64(line), c.nvmUnitsPerRow)
+}
+
+func (c *CACache) probe(at int64, idx uint64) int64 {
+	c.stats.ProbeReads++
+	return c.dev.Access(at, c.loc(idx), memtypes.Read, memtypes.TagUnitSize).DataAt
+}
+
+func (c *CACache) write(at int64, idx uint64) int64 {
+	return c.dev.Access(at, c.loc(idx), memtypes.Write, memtypes.TagUnitSize).DataAt
+}
+
+// Contains implements Interface.
+func (c *CACache) Contains(line memtypes.LineAddr) (way int, ok bool) {
+	i1 := c.primary(line)
+	if c.valid[i1] && c.lines[i1] == line {
+		return 0, true
+	}
+	i2 := c.rehash(i1)
+	if c.valid[i2] && c.lines[i2] == line {
+		return 1, true
+	}
+	return 0, false
+}
+
+// AccessRead implements Interface.
+func (c *CACache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
+	c.stats.Reads++
+	i1 := c.primary(line)
+	i2 := c.rehash(i1)
+
+	t1 := c.probe(at, i1)
+	if c.valid[i1] && c.lines[i1] == line {
+		// Fast hit; the "prediction" (primary index first) was right.
+		c.stats.ReadHits++
+		c.stats.Predictions++
+		c.stats.Correct++
+		c.stats.HitLatency.add(t1 - at)
+		return ReadResult{Done: t1, Hit: true, Way: 0, FirstProbeHit: true}
+	}
+
+	t2 := c.probe(t1, i2)
+	if c.valid[i2] && c.lines[i2] == line {
+		// Slow hit: swap the two units so the next access is fast. Both
+		// units were just read; the swap costs two writes.
+		c.stats.ReadHits++
+		c.stats.Predictions++
+		c.stats.HitLatency.add(t2 - at)
+		c.swap(t2, i1, i2)
+		return ReadResult{Done: t2, Hit: true, Way: 0, FirstProbeHit: false}
+	}
+
+	// Miss, confirmed after both probes. Fetch, install at the primary
+	// index, and push the primary's previous occupant to the rehash slot.
+	// As in Cache.AccessRead, the install's bandwidth is consumed at
+	// confirmation time to keep the reservation model well-ordered.
+	c.stats.NVMReads++
+	nvmDone := c.nvm.Access(t2, c.nvmLoc(line), memtypes.Read, memtypes.LineSize).DataAt
+	c.installAt(t2, line, i1, i2, false)
+	c.stats.MissLatency.add(nvmDone - at)
+	return ReadResult{Done: nvmDone, Hit: false, Way: 0}
+}
+
+// swap exchanges the occupants of i1 and i2 (two 72-byte writes).
+func (c *CACache) swap(at int64, i1, i2 uint64) {
+	c.lines[i1], c.lines[i2] = c.lines[i2], c.lines[i1]
+	c.valid[i1], c.valid[i2] = c.valid[i2], c.valid[i1]
+	c.dirty[i1], c.dirty[i2] = c.dirty[i2], c.dirty[i1]
+	c.stats.InstallWrites += 2
+	c.write(at, i1)
+	c.write(at, i2)
+}
+
+// installAt writes line into its primary slot, demoting the previous
+// occupant into the rehash slot and evicting the rehash slot's occupant.
+func (c *CACache) installAt(at int64, line memtypes.LineAddr, i1, i2 uint64, dirty bool) {
+	// Evict the rehash slot's occupant (it has nowhere else to go).
+	if c.valid[i2] && c.dirty[i2] {
+		c.stats.NVMWrites++
+		c.nvm.Access(at, c.nvmLoc(c.lines[i2]), memtypes.Write, memtypes.LineSize)
+	}
+	// Demote the primary occupant, unless the slot was free.
+	if c.valid[i1] {
+		c.lines[i2], c.valid[i2], c.dirty[i2] = c.lines[i1], true, c.dirty[i1]
+		c.stats.InstallWrites++
+		c.write(at, i2)
+	} else {
+		c.valid[i2] = false
+	}
+	c.lines[i1], c.valid[i1], c.dirty[i1] = line, true, dirty
+	c.stats.InstallWrites++
+	c.write(at, i1)
+}
+
+// Writeback implements Interface. The DCP bit tells the L3 whether the
+// line is resident; with a CA-cache the slot must still be located, but
+// the DCP-way extension (one bit: primary or rehash) removes the probe.
+func (c *CACache) Writeback(at int64, line memtypes.LineAddr) int64 {
+	c.stats.Writebacks++
+	i1 := c.primary(line)
+	i2 := c.rehash(i1)
+	for _, idx := range []uint64{i1, i2} {
+		if c.valid[idx] && c.lines[idx] == line {
+			c.stats.WritebackHits++
+			c.dirty[idx] = true
+			c.stats.WritebackWrites++
+			return c.write(at, idx)
+		}
+	}
+	// Absent: read the primary slot (victim data), then install.
+	c.stats.VictimReads++
+	rd := c.dev.Access(at, c.loc(i1), memtypes.Read, memtypes.TagUnitSize).DataAt
+	c.installAt(rd, line, i1, i2, true)
+	return rd
+}
+
+// CheckInvariants verifies that no line is resident in both of its slots.
+func (c *CACache) CheckInvariants() error {
+	for idx := uint64(0); idx < c.sets; idx++ {
+		if !c.valid[idx] {
+			continue
+		}
+		line := c.lines[idx]
+		i1 := c.primary(line)
+		i2 := c.rehash(i1)
+		if idx != i1 && idx != i2 {
+			return fmt.Errorf("ca-cache: line %#x resident at foreign slot %d", uint64(line), idx)
+		}
+		other := i1
+		if idx == i1 {
+			other = i2
+		}
+		if c.valid[other] && c.lines[other] == line {
+			return fmt.Errorf("ca-cache: line %#x duplicated in slots %d and %d", uint64(line), idx, other)
+		}
+	}
+	return nil
+}
+
+var _ Interface = (*CACache)(nil)
+var _ Interface = (*Cache)(nil)

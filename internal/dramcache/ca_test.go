@@ -1,0 +1,148 @@
+package dramcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"accord/internal/memtypes"
+)
+
+func buildCA(slots int64) *CACache {
+	dev, nvm := devices()
+	return NewCA(slots*memtypes.LineSize, dev, nvm)
+}
+
+func TestCAFastHit(t *testing.T) {
+	c := buildCA(64)
+	line := memtypes.LineAddr(5)
+	c.AccessRead(0, line)
+	r := c.AccessRead(0, line)
+	if !r.Hit || !r.FirstProbeHit {
+		t.Fatal("expected fast hit at primary index")
+	}
+	s := c.Stats()
+	// Miss: 2 probes (both locations); fast hit: 1 probe.
+	if s.ProbeReads != 3 {
+		t.Errorf("probes = %d, want 3", s.ProbeReads)
+	}
+	if s.PredictionAccuracy() != 1 {
+		t.Errorf("one-access hit fraction = %v, want 1", s.PredictionAccuracy())
+	}
+}
+
+func TestCAConflictingLinesCoexist(t *testing.T) {
+	// Two lines with the same primary index thrash a direct-mapped cache
+	// but coexist in a CA-cache (one at the rehash slot).
+	c := buildCA(64)
+	a := memtypes.LineAddr(3)
+	b := memtypes.LineAddr(3 + 64)
+	c.AccessRead(0, a)
+	c.AccessRead(0, b) // installs at primary, pushes a to rehash
+	if _, ok := c.Contains(a); !ok {
+		t.Fatal("conflicting line a evicted; CA-cache should rehash it")
+	}
+	if _, ok := c.Contains(b); !ok {
+		t.Fatal("line b missing")
+	}
+	ra := c.AccessRead(0, a) // slow hit + swap
+	if !ra.Hit {
+		t.Fatal("rehash hit missed")
+	}
+	if ra.FirstProbeHit {
+		t.Error("rehash hit reported as fast")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCASwapPromotes(t *testing.T) {
+	c := buildCA(64)
+	a := memtypes.LineAddr(3)
+	b := memtypes.LineAddr(3 + 64)
+	c.AccessRead(0, a)
+	c.AccessRead(0, b)
+	c.AccessRead(0, a)      // slow hit, swaps a to primary
+	r := c.AccessRead(0, a) // now fast
+	if !r.FirstProbeHit {
+		t.Error("swap did not promote the line to its primary slot")
+	}
+	swapWrites := c.Stats().InstallWrites
+	if swapWrites < 2 {
+		t.Errorf("swap writes = %d, want >= 2", swapWrites)
+	}
+}
+
+func TestCADirtyEvictionReachesNVM(t *testing.T) {
+	c := buildCA(64)
+	a := memtypes.LineAddr(3)
+	c.AccessRead(0, a)
+	c.Writeback(0, a)
+	if c.Stats().WritebackHits != 1 {
+		t.Fatal("resident writeback missed")
+	}
+	// Two more conflicting lines push a out entirely.
+	c.AccessRead(0, memtypes.LineAddr(3+64))
+	c.AccessRead(0, memtypes.LineAddr(3+128))
+	c.AccessRead(0, memtypes.LineAddr(3+192))
+	if c.Stats().NVMWrites == 0 {
+		t.Error("dirty line evicted without NVM write")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCAWritebackAbsentInstalls(t *testing.T) {
+	c := buildCA(64)
+	line := memtypes.LineAddr(9)
+	c.Writeback(0, line)
+	if _, ok := c.Contains(line); !ok {
+		t.Error("writeback-install missing")
+	}
+	if c.Stats().VictimReads != 1 {
+		t.Errorf("victim reads = %d, want 1", c.Stats().VictimReads)
+	}
+}
+
+func TestCAInvariantsUnderChurn(t *testing.T) {
+	c := buildCA(128)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 30000; i++ {
+		line := memtypes.LineAddr(r.Intn(1024))
+		if r.Intn(5) == 0 {
+			c.Writeback(0, line)
+		} else {
+			c.AccessRead(0, line)
+		}
+		if i%5000 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCAMetadata(t *testing.T) {
+	c := buildCA(64)
+	if c.Name() != "ca-cache" || c.StorageBytes() != 0 {
+		t.Errorf("metadata: %q %d", c.Name(), c.StorageBytes())
+	}
+	c.Stats().Reads = 3
+	c.ResetStats()
+	if c.Stats().Reads != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCAPanicsOnTinyCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 1-slot CA cache")
+		}
+	}()
+	buildCA(1)
+}

@@ -1,0 +1,650 @@
+// Package dramcache models the gigascale DRAM cache (L4) of the paper: an
+// alloy-style, tags-with-data organization in stacked DRAM, direct-mapped
+// or set-associative with all ways of a set co-located in one row buffer
+// (Figure 2), in front of a slow non-volatile main memory.
+//
+// Every probe of a way streams a 72-byte tag+data unit from the stacked
+// DRAM device, so associativity costs real bandwidth; the lookup policies
+// of Section II-C (parallel, serial, way-predicted, plus the idealized and
+// perfect-prediction oracles) decide how many probes each access pays.
+// Way prediction and way install are delegated to a core.Policy — the
+// coordination that ACCORD contributes.
+package dramcache
+
+import (
+	"fmt"
+
+	"accord/internal/core"
+	"accord/internal/dram"
+	"accord/internal/memtypes"
+)
+
+// Lookup selects how the cache locates a line among its ways
+// (Section II-C and Figure 3).
+type Lookup int
+
+const (
+	// LookupPredicted probes the policy-predicted way first and the
+	// remaining candidate ways only if it misses. This is the design
+	// ACCORD targets; with one way it degenerates to direct-mapped.
+	LookupPredicted Lookup = iota
+	// LookupParallel streams all candidate ways on every access.
+	LookupParallel
+	// LookupSerial probes ways one at a time, stopping on a tag match.
+	LookupSerial
+	// LookupPerfect is the perfect-way-prediction oracle: hits probe
+	// exactly the resident way; misses still pay full confirmation.
+	LookupPerfect
+	// LookupIdealized is the Figure 1(c) oracle: every access costs one
+	// probe regardless of hit or miss (bandwidth and latency of 1-way).
+	LookupIdealized
+)
+
+// String implements fmt.Stringer.
+func (l Lookup) String() string {
+	switch l {
+	case LookupPredicted:
+		return "predicted"
+	case LookupParallel:
+		return "parallel"
+	case LookupSerial:
+		return "serial"
+	case LookupPerfect:
+		return "perfect"
+	case LookupIdealized:
+		return "idealized"
+	default:
+		return fmt.Sprintf("Lookup(%d)", int(l))
+	}
+}
+
+// Config describes a DRAM cache instance.
+type Config struct {
+	CapacityBytes int64
+	Ways          int
+	Lookup        Lookup
+	// LRUReplacement switches the install-victim choice from the policy's
+	// steering to true LRU. Because tags (and replacement state) live in
+	// the DRAM array, every hit then pays an extra state-update write —
+	// the bandwidth tax of footnote 2.
+	LRUReplacement bool
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Ways < 1:
+		return fmt.Errorf("dramcache: ways = %d, must be >= 1", c.Ways)
+	case c.CapacityBytes < int64(c.Ways)*memtypes.LineSize:
+		return fmt.Errorf("dramcache: capacity %d below one set", c.CapacityBytes)
+	case c.CapacityBytes%(int64(c.Ways)*memtypes.LineSize) != 0:
+		return fmt.Errorf("dramcache: capacity %d not divisible by set size", c.CapacityBytes)
+	}
+	sets := c.CapacityBytes / (int64(c.Ways) * memtypes.LineSize)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("dramcache: %d sets, must be a power of two", sets)
+	}
+	return nil
+}
+
+// ReadResult reports one demand read.
+type ReadResult struct {
+	Done int64 // cycle the requested data is available
+	Hit  bool
+	// Way is the way the line resides in after the access (the hit way, or
+	// the install way on a miss); it feeds the L3's DCP state.
+	Way uint8
+	// FirstProbeHit is true when the access was serviced by the first
+	// probe (the fast path every lookup design optimizes for).
+	FirstProbeHit bool
+}
+
+// Stats counts the cache's externally meaningful events.
+type Stats struct {
+	Reads    uint64
+	ReadHits uint64
+
+	Writebacks    uint64
+	WritebackHits uint64
+
+	// Way-prediction accounting over demand-read hits.
+	Predictions uint64
+	Correct     uint64
+
+	// DRAM-cache device traffic by cause, in 72-byte probe/write units.
+	ProbeReads      uint64 // lookup + miss-confirmation reads
+	InstallWrites   uint64 // line fills (demand and writeback installs)
+	WritebackWrites uint64 // writeback updates of resident lines
+	VictimReads     uint64 // reads needed only to evict an unprobed victim
+	ReplStateOps    uint64 // LRU replacement-state update writes
+
+	// Main-memory traffic in 64-byte lines.
+	NVMReads  uint64
+	NVMWrites uint64
+
+	// FilteredMisses counts misses confirmed with zero probes thanks to
+	// policy metadata (partial tags).
+	FilteredMisses uint64
+
+	HitLatency, MissLatency LatencySum
+}
+
+// LatencySum accumulates a latency population with coarse power-of-two
+// buckets for percentile estimation.
+type LatencySum struct {
+	Count   uint64
+	Sum     int64
+	Buckets [24]uint64 // bucket i holds latencies in [2^i, 2^(i+1))
+}
+
+func (l *LatencySum) add(cycles int64) {
+	l.Count++
+	l.Sum += cycles
+	b := 0
+	for c := cycles; c > 1 && b < len(l.Buckets)-1; c >>= 1 {
+		b++
+	}
+	l.Buckets[b]++
+}
+
+// Percentile returns an upper bound on the q-quantile latency (q in
+// [0,1]) from the bucket histogram.
+func (l LatencySum) Percentile(q float64) int64 {
+	if l.Count == 0 {
+		return 0
+	}
+	want := uint64(q * float64(l.Count))
+	var cum uint64
+	for i, n := range l.Buckets {
+		cum += n
+		if cum > want {
+			return 1 << uint(i+1)
+		}
+	}
+	return 1 << uint(len(l.Buckets))
+}
+
+// Mean returns the average latency in cycles.
+func (l LatencySum) Mean() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.Sum) / float64(l.Count)
+}
+
+// HitRate returns demand-read hit rate in [0,1].
+func (s *Stats) HitRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadHits) / float64(s.Reads)
+}
+
+// PredictionAccuracy returns the fraction of predicted hits that probed
+// the right way first.
+func (s *Stats) PredictionAccuracy() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Predictions)
+}
+
+// ProbesPerRead returns average probe reads per demand read (Table I).
+func (s *Stats) ProbesPerRead() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ProbeReads) / float64(s.Reads)
+}
+
+// Interface is what the rest of the system needs from an L4; *Cache and
+// the column-associative variant both implement it.
+type Interface interface {
+	Name() string
+	AccessRead(at int64, line memtypes.LineAddr) ReadResult
+	Writeback(at int64, line memtypes.LineAddr) int64
+	Contains(line memtypes.LineAddr) (way int, ok bool)
+	Stats() *Stats
+	ResetStats()
+	StorageBytes() int64
+}
+
+// Cache is the set-associative DRAM cache model.
+type Cache struct {
+	cfg    Config
+	dev    *dram.Device // stacked DRAM holding tags-with-data
+	nvm    *dram.Device // main memory behind the cache
+	policy core.Policy
+
+	sets     uint64
+	setShift uint
+	ways     int
+
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	lru   []uint64 // replacement stamps, used only with LRUReplacement
+	clock uint64
+
+	unitsPerRow    int // sets per DRAM row
+	nvmUnitsPerRow int // lines per NVM row
+
+	stats   Stats
+	candBuf []int
+	probes  []int
+}
+
+// New builds the cache. The policy's geometry must match the configured
+// sets/ways; mismatches panic, as do invalid configurations.
+func New(cfg Config, policy core.Policy, dev, nvm *dram.Device) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := uint64(cfg.CapacityBytes / (int64(cfg.Ways) * memtypes.LineSize))
+	n := sets * uint64(cfg.Ways)
+	setBytes := cfg.Ways * memtypes.TagUnitSize
+	upr := dev.Config().RowBytes / setBytes
+	if upr < 1 {
+		upr = 1
+	}
+	nvmUPR := nvm.Config().RowBytes / memtypes.LineSize
+	if nvmUPR < 1 {
+		nvmUPR = 1
+	}
+	c := &Cache{
+		cfg:            cfg,
+		dev:            dev,
+		nvm:            nvm,
+		policy:         policy,
+		sets:           sets,
+		setShift:       log2(sets),
+		ways:           cfg.Ways,
+		tags:           make([]uint64, n),
+		valid:          make([]bool, n),
+		dirty:          make([]bool, n),
+		unitsPerRow:    upr,
+		nvmUnitsPerRow: nvmUPR,
+		candBuf:        make([]int, 0, cfg.Ways),
+		probes:         make([]int, 0, cfg.Ways),
+	}
+	if cfg.LRUReplacement {
+		c.lru = make([]uint64, n)
+	}
+	return c
+}
+
+func log2(x uint64) uint {
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Name identifies the configuration in reports.
+func (c *Cache) Name() string {
+	repl := "rand"
+	if c.cfg.LRUReplacement {
+		repl = "lru"
+	}
+	return fmt.Sprintf("%dway-%s-%s-%s", c.ways, c.cfg.Lookup, c.policy.Name(), repl)
+}
+
+// Stats returns the mutable statistics block.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// ResetStats zeroes statistics (cache contents persist), for warmup.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// StorageBytes reports the SRAM metadata cost of the attached policy.
+func (c *Cache) StorageBytes() int64 { return c.policy.StorageBytes() }
+
+// NumSets returns the set count.
+func (c *Cache) NumSets() uint64 { return c.sets }
+
+// Policy returns the attached way policy.
+func (c *Cache) Policy() core.Policy { return c.policy }
+
+func (c *Cache) index(line memtypes.LineAddr) (set, tag uint64) {
+	return uint64(line) & (c.sets - 1), uint64(line) >> c.setShift
+}
+
+func (c *Cache) slot(set uint64, way int) int { return int(set)*c.ways + way }
+
+func (c *Cache) lineOf(set, tag uint64) memtypes.LineAddr {
+	return memtypes.LineAddr(tag<<c.setShift | set)
+}
+
+// findWay returns the way holding (set, tag), or -1.
+func (c *Cache) findWay(set, tag uint64) int {
+	base := int(set) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// Contains implements Interface (the simulator's idealized DCP source).
+func (c *Cache) Contains(line memtypes.LineAddr) (way int, ok bool) {
+	set, tag := c.index(line)
+	w := c.findWay(set, tag)
+	return w, w >= 0
+}
+
+// loc maps a set to its device row (all ways co-located, Figure 2b).
+func (c *Cache) loc(set uint64) dram.Loc {
+	return c.dev.Config().MapUnit(set, c.unitsPerRow)
+}
+
+func (c *Cache) nvmLoc(line memtypes.LineAddr) dram.Loc {
+	return c.nvm.Config().MapUnit(uint64(line), c.nvmUnitsPerRow)
+}
+
+// probeRead streams one 72-byte tag+data unit for (set, way).
+func (c *Cache) probeRead(at int64, set uint64) int64 {
+	c.stats.ProbeReads++
+	return c.dev.Access(at, c.loc(set), memtypes.Read, memtypes.TagUnitSize).DataAt
+}
+
+// AccessRead services a demand read that missed the SRAM hierarchy.
+func (c *Cache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
+	set, tag := c.index(line)
+	region := line.Region()
+	actual := c.findWay(set, tag)
+	hit := actual >= 0
+	c.stats.Reads++
+
+	var done int64
+	var firstProbe int // the way probed first, -1 when no probe happened
+	confirmedAt := at  // when every candidate way has been checked
+	missKnownAt := at  // when the fill to memory can be launched
+
+	// On a miss, the fill is launched when the first probe returns without
+	// a tag match (alloy-style memory access prediction); the remaining
+	// confirmation probes overlap the long-latency memory read, so miss
+	// confirmation costs bandwidth, not serial latency — the property the
+	// paper's Section V argument relies on (see DESIGN.md).
+	switch c.cfg.Lookup {
+	case LookupIdealized:
+		// Oracle: one probe no matter what, and the oracle's probe is
+		// assumed to cover the victim (1-way install cost, Figure 1c).
+		done = c.probeRead(at, set)
+		confirmedAt = done
+		missKnownAt = done
+		if actual >= 0 {
+			firstProbe = actual // never counted as a prediction
+		} else {
+			firstProbe = 0
+		}
+
+	case LookupParallel:
+		cands := c.policy.CandidateWays(tag, c.candBuf)
+		firstProbe = cands[0]
+		done, confirmedAt = c.probeBurst(at, set, cands, actual)
+		missKnownAt = confirmedAt
+
+	case LookupSerial:
+		cands := c.policy.CandidateWays(tag, c.candBuf)
+		firstProbe = cands[0]
+		var first int64
+		done, confirmedAt, first = c.probeSerial(at, set, cands, actual)
+		missKnownAt = first
+
+	case LookupPerfect:
+		if hit {
+			done = c.probeRead(at, set)
+			confirmedAt = done
+			missKnownAt = done
+			firstProbe = actual
+		} else {
+			// Even a perfect predictor cannot know the line is absent:
+			// the first probe reveals the miss, the remaining probes
+			// confirm it in the background (Table I: N transfers).
+			cands := c.policy.CandidateWays(tag, c.candBuf)
+			firstProbe = cands[0]
+			first := c.probeRead(at, set)
+			missKnownAt = first
+			if len(cands) > 1 {
+				_, confirmedAt = c.probeBurst(first, set, cands[1:], actual)
+			} else {
+				confirmedAt = first
+			}
+			done = confirmedAt
+		}
+
+	default: // LookupPredicted
+		pred := c.policy.PredictWay(set, tag, region)
+		firstProbe = pred
+		if hit {
+			c.stats.Predictions++
+			if pred == actual {
+				c.stats.Correct++
+			}
+		}
+		if !hit && c.policy.FilterMiss(set, tag) {
+			// Metadata proves absence: no probes at all, and the fill
+			// launches immediately.
+			c.stats.FilteredMisses++
+			confirmedAt = at
+			missKnownAt = at
+			done = at
+			firstProbe = -1
+		} else {
+			first := c.probeRead(at, set)
+			missKnownAt = first
+			if pred == actual {
+				done, confirmedAt = first, first
+			} else {
+				// Mispredict (or miss): burst the remaining candidates.
+				rest := c.remainingCandidates(tag, pred)
+				done, confirmedAt = c.probeBurst(first, set, rest, actual)
+				if !hit || len(rest) == 0 {
+					done = confirmedAt
+				}
+			}
+		}
+	}
+
+	c.policy.ObserveAccess(set, tag, region, actual, hit)
+
+	if hit {
+		c.stats.ReadHits++
+		c.stats.HitLatency.add(done - at)
+		if c.cfg.LRUReplacement {
+			// Replacement-state update is a write to the line's tag+data
+			// unit in DRAM (footnote 2's bandwidth tax).
+			c.lru[c.slot(set, actual)] = c.bump()
+			c.stats.ReplStateOps++
+			c.dev.Access(done, c.loc(set), memtypes.Write, memtypes.TagUnitSize)
+		}
+		return ReadResult{
+			Done:          done,
+			Hit:           true,
+			Way:           uint8(actual),
+			FirstProbeHit: firstProbe == actual,
+		}
+	}
+
+	// Miss: fetch from NVM once the miss is confirmed, then install. The
+	// lookup already streamed every candidate way except when the miss was
+	// filtered by metadata, so the victim's data is normally on hand.
+	//
+	// The install (and any victim eviction) is issued at the confirmation
+	// time rather than at NVM-data arrival: the fill's bandwidth is
+	// consumed at the right rate, but the resource-reservation model must
+	// not reserve buses hundreds of cycles in the future, which would
+	// penalize unrelated earlier accesses (see DESIGN.md).
+	victimProbed := firstProbe >= 0
+	c.stats.NVMReads++
+	nvmDone := c.nvm.Access(missKnownAt, c.nvmLoc(line), memtypes.Read, memtypes.LineSize).DataAt
+	way := c.install(missKnownAt, set, tag, region, false, victimProbed)
+	if nvmDone < confirmedAt {
+		// Data cannot be released before every way has been ruled out (a
+		// later way could hold a newer dirty copy).
+		nvmDone = confirmedAt
+	}
+	c.stats.MissLatency.add(nvmDone - at)
+	return ReadResult{Done: nvmDone, Hit: false, Way: uint8(way)}
+}
+
+// remainingCandidates returns the candidate ways excluding the one already
+// probed.
+func (c *Cache) remainingCandidates(tag uint64, probed int) []int {
+	cands := c.policy.CandidateWays(tag, c.candBuf)
+	c.probes = c.probes[:0]
+	for _, w := range cands {
+		if w != probed {
+			c.probes = append(c.probes, w)
+		}
+	}
+	return c.probes
+}
+
+// probeBurst issues probes for all ways at once; it returns the cycle the
+// target way's data arrives (max when there is no target) and the cycle
+// the full burst completes (miss confirmation).
+func (c *Cache) probeBurst(at int64, set uint64, ways []int, target int) (dataAt, allDone int64) {
+	dataAt, allDone = at, at
+	for _, w := range ways {
+		t := c.probeRead(at, set)
+		if t > allDone {
+			allDone = t
+		}
+		if w == target {
+			dataAt = t
+		}
+	}
+	if target < 0 {
+		dataAt = allDone
+	}
+	return dataAt, allDone
+}
+
+// probeSerial issues dependent probes way by way, stopping at the target;
+// firstDone is the completion of the first probe (when a fill can launch).
+func (c *Cache) probeSerial(at int64, set uint64, ways []int, target int) (dataAt, allDone, firstDone int64) {
+	t := at
+	firstDone = at
+	for i, w := range ways {
+		t = c.probeRead(t, set)
+		if i == 0 {
+			firstDone = t
+		}
+		if w == target {
+			return t, t, firstDone
+		}
+	}
+	return t, t, firstDone
+}
+
+func (c *Cache) bump() uint64 {
+	c.clock++
+	return c.clock
+}
+
+// install places (set, tag) into the cache at the steered (or LRU) way,
+// writing the 72-byte unit and writing any dirty victim back to NVM.
+// victimProbed says whether the lookup already streamed the victim's data;
+// when it did not, the victim unit must be read before being overwritten.
+// It returns the chosen way.
+func (c *Cache) install(at int64, set, tag uint64, region memtypes.RegionID, dirty, victimProbed bool) int {
+	var way int
+	if c.cfg.LRUReplacement {
+		way = c.lruVictim(set, tag)
+	} else {
+		way = c.policy.InstallWay(set, tag, region)
+	}
+	s := c.slot(set, way)
+	if !victimProbed {
+		// Whether the slot even holds valid data is only discoverable by
+		// reading its tag+data unit from the DRAM array.
+		c.stats.VictimReads++
+		at = c.dev.Access(at, c.loc(set), memtypes.Read, memtypes.TagUnitSize).DataAt
+	}
+	if c.valid[s] && c.dirty[s] {
+		victim := c.lineOf(set, c.tags[s])
+		c.stats.NVMWrites++
+		c.nvm.Access(at, c.nvmLoc(victim), memtypes.Write, memtypes.LineSize)
+	}
+	c.tags[s] = tag
+	c.valid[s] = true
+	c.dirty[s] = dirty
+	if c.cfg.LRUReplacement {
+		c.lru[s] = c.bump()
+	}
+	c.stats.InstallWrites++
+	c.dev.Access(at, c.loc(set), memtypes.Write, memtypes.TagUnitSize)
+	c.policy.ObserveInstall(set, tag, region, way)
+	return way
+}
+
+// lruVictim picks the least-recently-stamped candidate way.
+func (c *Cache) lruVictim(set, tag uint64) int {
+	cands := c.policy.CandidateWays(tag, c.candBuf)
+	best := cands[0]
+	for _, w := range cands[1:] {
+		if c.lru[c.slot(set, w)] < c.lru[c.slot(set, best)] {
+			best = w
+		}
+	}
+	return best
+}
+
+// Writeback handles a dirty L3 eviction. With the paper's DCP+way
+// extension the L3 already knows whether and where the line resides, so a
+// resident line is updated with a single write and no probe; an absent
+// line is installed (one victim-read plus one write).
+func (c *Cache) Writeback(at int64, line memtypes.LineAddr) int64 {
+	set, tag := c.index(line)
+	region := line.Region()
+	c.stats.Writebacks++
+	if way := c.findWay(set, tag); way >= 0 {
+		c.stats.WritebackHits++
+		c.dirty[c.slot(set, way)] = true
+		c.stats.WritebackWrites++
+		res := c.dev.Access(at, c.loc(set), memtypes.Write, memtypes.TagUnitSize)
+		if c.cfg.LRUReplacement {
+			c.lru[c.slot(set, way)] = c.bump()
+		}
+		return res.DataAt
+	}
+	// Absent: write-allocate. The victim unit must be read before it is
+	// overwritten (its tag and dirty state live in DRAM), which install
+	// accounts for via victimProbed=false.
+	c.install(at, set, tag, region, true, false)
+	return at
+}
+
+// CheckInvariants validates that no set holds duplicate tags and that
+// SWS-restricted lines are in allowed ways; tests call it after random
+// operation sequences.
+func (c *Cache) CheckInvariants() error {
+	buf := make([]int, 0, c.ways)
+	for set := uint64(0); set < c.sets; set++ {
+		seen := make(map[uint64]bool, c.ways)
+		for w := 0; w < c.ways; w++ {
+			s := c.slot(set, w)
+			if !c.valid[s] {
+				continue
+			}
+			if seen[c.tags[s]] {
+				return fmt.Errorf("dramcache: duplicate tag %#x in set %d", c.tags[s], set)
+			}
+			seen[c.tags[s]] = true
+			ok := false
+			for _, cw := range c.policy.CandidateWays(c.tags[s], buf) {
+				if cw == w {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("dramcache: tag %#x in non-candidate way %d of set %d", c.tags[s], w, set)
+			}
+		}
+	}
+	return nil
+}

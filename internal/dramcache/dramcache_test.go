@@ -1,0 +1,436 @@
+package dramcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"accord/internal/core"
+	"accord/internal/dram"
+	"accord/internal/memtypes"
+)
+
+const clk = 3.0
+
+func devices() (*dram.Device, *dram.Device) {
+	return dram.New(dram.HBM(), clk), dram.New(dram.PCM(), clk)
+}
+
+// build makes a cache with `sets` sets and `ways` ways.
+func build(sets uint64, ways int, lookup Lookup, pol core.Policy) *Cache {
+	dev, nvm := devices()
+	cfg := Config{
+		CapacityBytes: int64(sets) * int64(ways) * memtypes.LineSize,
+		Ways:          ways,
+		Lookup:        lookup,
+	}
+	return New(cfg, pol, dev, nvm)
+}
+
+func accordPolicy(sets uint64, ways int) *core.ACCORD {
+	return core.NewACCORD(core.DefaultACCORD(core.Geometry{Sets: sets, Ways: ways}, 1))
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{CapacityBytes: 64 * 64 * 2, Ways: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{CapacityBytes: 4096, Ways: 0},
+		{CapacityBytes: 32, Ways: 1},
+		{CapacityBytes: 64*64*2 + 64, Ways: 2},
+		{CapacityBytes: 3 * 64 * 64, Ways: 1}, // non-power-of-two sets
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed", i)
+		}
+	}
+}
+
+func TestLookupString(t *testing.T) {
+	names := map[Lookup]string{
+		LookupPredicted: "predicted", LookupParallel: "parallel",
+		LookupSerial: "serial", LookupPerfect: "perfect", LookupIdealized: "idealized",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+	if Lookup(99).String() == "" {
+		t.Error("unknown lookup empty")
+	}
+}
+
+func TestDirectMappedTable1(t *testing.T) {
+	// Table I, direct-mapped row: 1 access & 1 transfer for hit and miss.
+	c := build(64, 1, LookupPredicted, core.NewRand(core.Geometry{Sets: 64, Ways: 1}, 1))
+	line := memtypes.LineAddr(5)
+
+	r := c.AccessRead(0, line) // compulsory miss
+	if r.Hit {
+		t.Fatal("hit in empty cache")
+	}
+	if got := c.Stats().ProbeReads; got != 1 {
+		t.Errorf("miss probes = %d, want 1", got)
+	}
+	r = c.AccessRead(r.Done, line)
+	if !r.Hit || !r.FirstProbeHit {
+		t.Fatal("expected fast hit")
+	}
+	if got := c.Stats().ProbeReads; got != 2 {
+		t.Errorf("total probes = %d, want 2", got)
+	}
+	if acc := c.Stats().PredictionAccuracy(); acc != 1 {
+		t.Errorf("direct-mapped prediction accuracy = %v, want 1", acc)
+	}
+}
+
+func TestParallelTable1(t *testing.T) {
+	// Table I, parallel N-way: N transfers on hit and on miss.
+	const ways = 4
+	pol := core.NewRand(core.Geometry{Sets: 64, Ways: ways}, 1)
+	c := build(64, ways, LookupParallel, pol)
+	line := memtypes.LineAddr(9)
+	c.AccessRead(0, line)
+	if got := c.Stats().ProbeReads; got != ways {
+		t.Errorf("miss probes = %d, want %d", got, ways)
+	}
+	c.AccessRead(1000000, line)
+	if got := c.Stats().ProbeReads; got != 2*ways {
+		t.Errorf("hit probes total = %d, want %d", got, 2*ways)
+	}
+}
+
+func TestSerialTable1(t *testing.T) {
+	// Table I, serial N-way: hit costs position-of-way transfers, miss N.
+	const ways = 2
+	g := core.Geometry{Sets: 64, Ways: ways}
+	// PIP=1 steers every install to the preferred way, so we know where
+	// lines live.
+	pol := core.NewACCORD(core.ACCORDConfig{Geom: g, UsePWS: true, PIP: 1.0, Seed: 1})
+	c := build(64, ways, LookupSerial, pol)
+
+	evenTag := memtypes.LineAddr(0)     // tag 0 -> way 0
+	oddTag := memtypes.LineAddr(1 << 6) // tag 1 -> way 1 (set 0 with 64 sets)
+	c.AccessRead(0, evenTag)            // miss: 2 probes
+	c.AccessRead(0, oddTag)             // miss: 2 probes
+	base := c.Stats().ProbeReads
+	if base != 4 {
+		t.Fatalf("two serial misses = %d probes, want 4", base)
+	}
+	c.AccessRead(0, evenTag) // hit in way 0: 1 probe
+	if got := c.Stats().ProbeReads - base; got != 1 {
+		t.Errorf("way-0 serial hit probes = %d, want 1", got)
+	}
+	c.AccessRead(0, oddTag) // hit in way 1: 2 probes
+	if got := c.Stats().ProbeReads - base; got != 3 {
+		t.Errorf("way-1 serial hit probes = %d (cumulative 1+2)", got)
+	}
+}
+
+func TestPredictedTable1(t *testing.T) {
+	// Table I, way-predicted: 1 transfer on a correctly predicted hit,
+	// N transfers on a miss.
+	const ways = 2
+	g := core.Geometry{Sets: 64, Ways: ways}
+	pol := core.NewACCORD(core.ACCORDConfig{Geom: g, UsePWS: true, PIP: 1.0, Seed: 1})
+	c := build(64, ways, LookupPredicted, pol)
+	line := memtypes.LineAddr(3) // set 3, tag 0 -> way 0
+	c.AccessRead(0, line)
+	if got := c.Stats().ProbeReads; got != ways {
+		t.Errorf("predicted miss probes = %d, want %d", got, ways)
+	}
+	c.AccessRead(0, line)
+	if got := c.Stats().ProbeReads; got != ways+1 {
+		t.Errorf("predicted hit probes = %d, want %d", got, ways+1)
+	}
+	s := c.Stats()
+	if s.Predictions != 1 || s.Correct != 1 {
+		t.Errorf("prediction stats = %d/%d, want 1/1", s.Correct, s.Predictions)
+	}
+}
+
+func TestPerfectLookup(t *testing.T) {
+	const ways = 8
+	pol := core.NewRand(core.Geometry{Sets: 64, Ways: ways}, 1)
+	c := build(64, ways, LookupPerfect, pol)
+	line := memtypes.LineAddr(11)
+	c.AccessRead(0, line) // miss: full confirmation
+	if got := c.Stats().ProbeReads; got != ways {
+		t.Errorf("perfect-lookup miss probes = %d, want %d", got, ways)
+	}
+	r := c.AccessRead(0, line) // hit: exactly one probe
+	if !r.Hit || !r.FirstProbeHit {
+		t.Fatal("perfect lookup did not fast-hit")
+	}
+	if got := c.Stats().ProbeReads; got != ways+1 {
+		t.Errorf("perfect-lookup hit probes = %d, want %d", got, ways+1)
+	}
+}
+
+func TestIdealizedLookup(t *testing.T) {
+	const ways = 8
+	pol := core.NewRand(core.Geometry{Sets: 64, Ways: ways}, 1)
+	c := build(64, ways, LookupIdealized, pol)
+	line := memtypes.LineAddr(7)
+	c.AccessRead(0, line)
+	c.AccessRead(0, line)
+	if got := c.Stats().ProbeReads; got != 2 {
+		t.Errorf("idealized probes = %d, want 2 (one per access)", got)
+	}
+}
+
+func TestMissGoesToNVMAndInstalls(t *testing.T) {
+	c := build(64, 2, LookupPredicted, accordPolicy(64, 2))
+	line := memtypes.LineAddr(21)
+	r := c.AccessRead(0, line)
+	s := c.Stats()
+	if s.NVMReads != 1 || s.InstallWrites != 1 {
+		t.Errorf("NVM reads %d installs %d, want 1/1", s.NVMReads, s.InstallWrites)
+	}
+	if w, ok := c.Contains(line); !ok || int(r.Way) != w {
+		t.Errorf("installed way mismatch: result %d, Contains %d/%v", r.Way, w, ok)
+	}
+	// Miss latency must exceed the NVM unloaded read latency.
+	nvm := dram.New(dram.PCM(), clk)
+	if r.Done < nvm.UnloadedReadLatency(64) {
+		t.Errorf("miss done at %d, under NVM latency %d", r.Done, nvm.UnloadedReadLatency(64))
+	}
+}
+
+func TestDirtyVictimWrittenToNVM(t *testing.T) {
+	// Direct-mapped, 4 sets: two lines conflict; first is dirtied by a
+	// writeback, then evicted by the second.
+	c := build(4, 1, LookupPredicted, core.NewRand(core.Geometry{Sets: 4, Ways: 1}, 1))
+	a := memtypes.LineAddr(0)
+	b := memtypes.LineAddr(4)
+	c.AccessRead(0, a)
+	c.Writeback(0, a) // dirty it
+	if c.Stats().WritebackHits != 1 {
+		t.Fatalf("writeback did not hit resident line")
+	}
+	c.AccessRead(0, b) // evicts dirty a
+	if got := c.Stats().NVMWrites; got != 1 {
+		t.Errorf("NVM writes = %d, want 1 (dirty victim)", got)
+	}
+	if _, ok := c.Contains(a); ok {
+		t.Error("victim still resident")
+	}
+}
+
+func TestWritebackAbsentInstalls(t *testing.T) {
+	c := build(64, 2, LookupPredicted, accordPolicy(64, 2))
+	line := memtypes.LineAddr(33)
+	c.Writeback(0, line)
+	s := c.Stats()
+	if s.WritebackHits != 0 {
+		t.Error("absent writeback counted as hit")
+	}
+	if s.VictimReads != 1 || s.InstallWrites != 1 {
+		t.Errorf("victim reads %d installs %d, want 1/1", s.VictimReads, s.InstallWrites)
+	}
+	if _, ok := c.Contains(line); !ok {
+		t.Error("writeback did not install")
+	}
+	// The installed line is dirty: evicting it must write NVM. Force
+	// eviction by filling both ways of its set repeatedly.
+	set := uint64(line) & 63
+	for i := uint64(1); i <= 8; i++ {
+		c.AccessRead(0, memtypes.LineAddr(set|i<<6))
+	}
+	if c.Stats().NVMWrites == 0 {
+		t.Error("dirty writeback-installed line never written to NVM")
+	}
+}
+
+func TestWritebackResidentNoProbe(t *testing.T) {
+	c := build(64, 2, LookupPredicted, accordPolicy(64, 2))
+	line := memtypes.LineAddr(40)
+	c.AccessRead(0, line)
+	probes := c.Stats().ProbeReads
+	c.Writeback(0, line)
+	s := c.Stats()
+	if s.ProbeReads != probes {
+		t.Error("resident writeback probed the cache (DCP should prevent this)")
+	}
+	if s.WritebackWrites != 1 {
+		t.Errorf("writeback writes = %d, want 1", s.WritebackWrites)
+	}
+}
+
+func TestLRUReplacementCostsAndVictims(t *testing.T) {
+	dev, nvm := devices()
+	g := core.Geometry{Sets: 4, Ways: 2}
+	cfg := Config{CapacityBytes: 4 * 2 * 64, Ways: 2, Lookup: LookupPredicted, LRUReplacement: true}
+	c := New(cfg, core.NewRand(g, 1), dev, nvm)
+
+	a := memtypes.LineAddr(0)
+	b := memtypes.LineAddr(4)
+	x := memtypes.LineAddr(8)
+	c.AccessRead(0, a)
+	c.AccessRead(0, b)
+	c.AccessRead(0, a) // hit: LRU update write
+	if got := c.Stats().ReplStateOps; got != 1 {
+		t.Errorf("replacement-state writes = %d, want 1", got)
+	}
+	c.AccessRead(0, x) // must evict b (LRU), not a
+	if _, ok := c.Contains(a); !ok {
+		t.Error("LRU evicted the MRU line")
+	}
+	if _, ok := c.Contains(b); ok {
+		t.Error("LRU kept the LRU line")
+	}
+}
+
+func TestFilteredMissSkipsProbes(t *testing.T) {
+	g := core.Geometry{Sets: 64, Ways: 2}
+	pol := core.NewPartialTag(g, 4, 1)
+	c := build(64, 2, LookupPredicted, pol)
+	line := memtypes.LineAddr(3)
+	c.AccessRead(0, line) // cold miss on an empty set: filtered
+	s := c.Stats()
+	if s.FilteredMisses != 1 {
+		t.Errorf("filtered misses = %d, want 1", s.FilteredMisses)
+	}
+	if s.ProbeReads != 0 {
+		t.Errorf("probes on filtered miss = %d, want 0", s.ProbeReads)
+	}
+	// Installing over an unprobed slot requires reading it first (its tag
+	// and dirty state live in the DRAM array).
+	if s.VictimReads != 1 {
+		t.Errorf("victim reads = %d, want 1", s.VictimReads)
+	}
+	// A second distinct tag in the same set with different low bits is
+	// also filtered.
+	c.AccessRead(0, memtypes.LineAddr(3|5<<6))
+	if got := c.Stats().FilteredMisses; got != 2 {
+		t.Errorf("filtered misses = %d, want 2", got)
+	}
+}
+
+func TestHitLatencyOrdering(t *testing.T) {
+	// A correctly predicted 2-way hit must be faster than a mispredicted
+	// one on an idle system.
+	g := core.Geometry{Sets: 64, Ways: 2}
+	pol := core.NewACCORD(core.ACCORDConfig{Geom: g, UsePWS: true, PIP: 1.0, Seed: 1})
+	c := build(64, 2, LookupPredicted, pol)
+
+	right := memtypes.LineAddr(0) // tag 0 -> preferred way 0, predicted 0
+	c.AccessRead(0, right)
+	r1 := c.AccessRead(1_000_000, right)
+	if !r1.FirstProbeHit {
+		t.Fatal("expected correct prediction")
+	}
+	fast := r1.Done - 1_000_000
+
+	// Install an odd-tag line with PIP=1 (to way 1), then mispredict it:
+	// rebuild with a policy that predicts way 0 for it.
+	wrongPol := core.NewMRU(g, 1) // predicts way 0 for untouched sets
+	c2 := build(64, 2, LookupPredicted, wrongPol)
+	// Place the line in way 1 manually via repeated installs.
+	var line = memtypes.LineAddr(5)
+	for {
+		c2.AccessRead(0, line)
+		if w, _ := c2.Contains(line); w == 1 {
+			break
+		}
+		c2.AccessRead(0, memtypes.LineAddr(uint64(line)|1<<7)) // churn
+	}
+	// Reset MRU to predict way 0 by touching another way? Simpler: fresh
+	// MRU policies predict way 0; line is in way 1 now, so next read
+	// mispredicts unless a previous hit trained it. Force stale training:
+	c2.AccessRead(2_000_000, memtypes.LineAddr(uint64(line))) // may train
+	r2 := c2.AccessRead(3_000_000, line)                      // trained: fast
+	slowStart := int64(4_000_000)
+	// Untrain by hitting a different way in the same set.
+	_ = r2
+	res := c2.AccessRead(slowStart, line)
+	if res.Hit && !res.FirstProbeHit {
+		if res.Done-slowStart <= fast {
+			t.Errorf("mispredicted hit (%d cycles) not slower than predicted (%d)", res.Done-slowStart, fast)
+		}
+	}
+}
+
+func TestInvariantsUnderRandomTraffic(t *testing.T) {
+	for _, ways := range []int{1, 2, 4, 8} {
+		pol := core.NewACCORD(core.DefaultACCORD(core.Geometry{Sets: 32, Ways: ways}, 7))
+		c := build(32, ways, LookupPredicted, pol)
+		r := rand.New(rand.NewSource(int64(ways)))
+		for i := 0; i < 20000; i++ {
+			line := memtypes.LineAddr(r.Intn(2048))
+			if r.Intn(4) == 0 {
+				c.Writeback(0, line)
+			} else {
+				c.AccessRead(0, line)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Errorf("%d-way: %v", ways, err)
+		}
+	}
+}
+
+func TestSWSLinesStayInCandidates(t *testing.T) {
+	pol := core.NewACCORD(core.DefaultACCORD(core.Geometry{Sets: 32, Ways: 8}, 3))
+	c := build(32, 8, LookupPredicted, pol)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 30000; i++ {
+		c.AccessRead(0, memtypes.LineAddr(r.Intn(4096)))
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// With SWS, miss confirmation is at most two probes: probes/read <= 2.
+	if ppr := c.Stats().ProbesPerRead(); ppr > 2.0001 {
+		t.Errorf("SWS probes per read = %.3f, want <= 2", ppr)
+	}
+}
+
+func TestNameAndStorage(t *testing.T) {
+	c := build(64, 2, LookupPredicted, accordPolicy(64, 2))
+	if c.Name() == "" || c.StorageBytes() != 320 {
+		t.Errorf("name %q storage %d", c.Name(), c.StorageBytes())
+	}
+	if c.NumSets() != 64 {
+		t.Errorf("sets = %d", c.NumSets())
+	}
+	if c.Policy() == nil {
+		t.Error("policy accessor nil")
+	}
+	c.Stats().Reads = 5
+	c.ResetStats()
+	if c.Stats().Reads != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 || s.PredictionAccuracy() != 0 || s.ProbesPerRead() != 0 {
+		t.Error("empty stats not zero")
+	}
+	s.Reads, s.ReadHits = 10, 7
+	s.Predictions, s.Correct = 7, 5
+	s.ProbeReads = 15
+	if s.HitRate() != 0.7 {
+		t.Errorf("hit rate = %v", s.HitRate())
+	}
+	if s.PredictionAccuracy() != 5.0/7.0 {
+		t.Errorf("accuracy = %v", s.PredictionAccuracy())
+	}
+	if s.ProbesPerRead() != 1.5 {
+		t.Errorf("probes per read = %v", s.ProbesPerRead())
+	}
+	var l LatencySum
+	if l.Mean() != 0 {
+		t.Error("empty latency mean nonzero")
+	}
+	l.add(10)
+	l.add(20)
+	if l.Mean() != 15 {
+		t.Errorf("latency mean = %v", l.Mean())
+	}
+}

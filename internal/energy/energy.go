@@ -1,0 +1,87 @@
+// Package energy models off-chip memory-system power, energy, and
+// energy-delay product (Figure 15): dynamic energy from per-operation
+// costs of the stacked-DRAM cache and the non-volatile memory, plus
+// background power integrated over the run.
+package energy
+
+import (
+	"fmt"
+
+	"accord/internal/dram"
+)
+
+// Breakdown is the energy of one run, in joules.
+type Breakdown struct {
+	CacheDynamic    float64 // HBM activates + column ops
+	CacheBackground float64
+	MemDynamic      float64 // NVM reads/writes (writes dominate for PCM)
+	MemBackground   float64
+	Seconds         float64 // run length
+}
+
+// Total returns total energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.CacheDynamic + b.CacheBackground + b.MemDynamic + b.MemBackground
+}
+
+// Power returns average power in watts.
+func (b Breakdown) Power() float64 {
+	if b.Seconds <= 0 {
+		return 0
+	}
+	return b.Total() / b.Seconds
+}
+
+// EDP returns the energy-delay product in joule-seconds.
+func (b Breakdown) EDP() float64 { return b.Total() * b.Seconds }
+
+// deviceDynamic integrates a device's per-operation energies (nanojoules)
+// over its operation counts.
+func deviceDynamic(cfg dram.Config, s dram.Stats) float64 {
+	nj := float64(s.Activates)*cfg.EActivateNJ +
+		float64(s.Reads)*cfg.EReadUnitNJ +
+		float64(s.Writes)*cfg.EWriteUnitNJ
+	return nj * 1e-9
+}
+
+// Compute derives the energy breakdown of a run from the two devices'
+// operation counts, the run length in CPU cycles, and the CPU clock.
+func Compute(hbmCfg dram.Config, hbm dram.Stats, pcmCfg dram.Config, pcm dram.Stats, cycles int64, cpuGHz float64) Breakdown {
+	if cpuGHz <= 0 {
+		panic(fmt.Sprintf("energy: cpuGHz = %v, must be positive", cpuGHz))
+	}
+	sec := float64(cycles) / (cpuGHz * 1e9)
+	return Breakdown{
+		CacheDynamic:    deviceDynamic(hbmCfg, hbm),
+		CacheBackground: hbmCfg.BackgroundW * sec,
+		MemDynamic:      deviceDynamic(pcmCfg, pcm),
+		MemBackground:   pcmCfg.BackgroundW * sec,
+		Seconds:         sec,
+	}
+}
+
+// Relative is Figure 15's normalized view of a design against a baseline.
+type Relative struct {
+	Speedup float64 // baseline delay / target delay
+	Power   float64 // target power / baseline power
+	Energy  float64 // target energy / baseline energy
+	EDP     float64 // target EDP / baseline EDP
+}
+
+// Compare normalizes target against baseline.
+func Compare(target, baseline Breakdown) Relative {
+	r := Relative{}
+	if target.Seconds > 0 {
+		r.Speedup = baseline.Seconds / target.Seconds
+	}
+	if p := baseline.Power(); p > 0 {
+		r.Power = target.Power() / p
+	}
+	if e := baseline.Total(); e > 0 {
+		r.Energy = target.Total() / e
+	}
+	if e := baseline.EDP(); e > 0 {
+		r.EDP = target.EDP() / e
+	}
+	return r
+}

@@ -1,0 +1,180 @@
+// Package exp defines one reproducible experiment per table and figure of
+// the paper's evaluation. Each experiment produces plain-text tables whose
+// rows/series mirror what the paper reports; cmd/accordbench and the
+// repository benchmarks drive them.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"accord/internal/sim"
+	"accord/internal/stats"
+	"accord/internal/workloads"
+)
+
+// Params controls experiment scale and duration.
+type Params struct {
+	Scale        int64
+	Cores        int
+	WarmupInstr  int64
+	MeasureInstr int64
+	Seed         int64
+
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+// DefaultParams returns the full-quality setting used to produce
+// EXPERIMENTS.md: 1/256-scale capacities with adaptive instruction budgets.
+func DefaultParams() Params {
+	return Params{Scale: 256, Cores: 16, WarmupInstr: 4_000_000, MeasureInstr: 4_000_000, Seed: 1}
+}
+
+// QuickParams returns a reduced setting for benchmarks and smoke tests:
+// 1/1024-scale capacities and short windows.
+func QuickParams() Params {
+	return Params{Scale: 1024, Cores: 8, WarmupInstr: 400_000, MeasureInstr: 400_000, Seed: 1}
+}
+
+// Session memoizes simulation results so experiments sharing design points
+// (every figure reuses the direct-mapped baseline) pay for each run once.
+type Session struct {
+	p     Params
+	cache map[string]sim.Result
+}
+
+// NewSession creates a session for the given parameters.
+func NewSession(p Params) *Session {
+	if p.Cores <= 0 {
+		p.Cores = 16
+	}
+	if p.Scale <= 0 {
+		p.Scale = 256
+	}
+	return &Session{p: p, cache: make(map[string]sim.Result)}
+}
+
+// Params returns the session parameters.
+func (s *Session) Params() Params { return s.p }
+
+// apply rewrites a catalog config with the session's scale and budgets.
+func (s *Session) apply(cfg sim.Config) sim.Config {
+	cfg.Scale = s.p.Scale
+	cfg.Cores = s.p.Cores
+	cfg.WarmupInstr = s.p.WarmupInstr
+	cfg.MeasureInstr = s.p.MeasureInstr
+	cfg.Seed = s.p.Seed
+	return cfg
+}
+
+// Run simulates cfg on the named workload, memoized.
+func (s *Session) Run(cfg sim.Config, workload string) sim.Result {
+	cfg = s.apply(cfg)
+	key := fmt.Sprintf("%s|%s|%d|%d|%d|%d", cfg.Name, workload, cfg.Scale, cfg.Cores, cfg.MeasureInstr, cfg.Seed)
+	if r, ok := s.cache[key]; ok {
+		return r
+	}
+	wl := workloads.MustGet(workload, cfg.Cores)
+	r := sim.New(cfg, wl).Run(workload)
+	s.cache[key] = r
+	if s.p.Progress != nil {
+		fmt.Fprintf(s.p.Progress, "  ran %-22s %-12s hit=%.3f ipc=%.4f\n", cfg.Name, workload, r.HitRate(), r.MeanIPC())
+	}
+	return r
+}
+
+// Baseline returns the direct-mapped baseline result for a workload.
+func (s *Session) Baseline(workload string) sim.Result {
+	return s.Run(sim.DirectMapped(), workload)
+}
+
+// Speedup returns the weighted speedup of cfg over the baseline.
+func (s *Session) Speedup(cfg sim.Config, workload string) float64 {
+	return sim.WeightedSpeedup(s.Run(cfg, workload), s.Baseline(workload))
+}
+
+// SuiteSpeedups evaluates cfg across a suite, returning per-workload
+// speedups plus the geometric mean (the paper's summary statistic).
+func (s *Session) SuiteSpeedups(cfg sim.Config, suite []string) (per []float64, geomean float64) {
+	per = make([]float64, len(suite))
+	logsum := 0.0
+	n := 0
+	for i, wl := range suite {
+		per[i] = s.Speedup(cfg, wl)
+		if per[i] > 0 {
+			logsum += math.Log(per[i])
+			n++
+		}
+	}
+	if n > 0 {
+		geomean = math.Exp(logsum / float64(n))
+	}
+	return per, geomean
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID       string // e.g. "fig10", "tab5"
+	PaperRef string // e.g. "Figure 10"
+	Title    string
+	Run      func(*Session) []*stats.Table
+}
+
+// registry is populated by init functions in experiments.go and kernel.go.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, ordered as they appear in the paper.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+// order gives experiments a paper-reading order.
+func order(id string) int {
+	idx := map[string]int{
+		"fig1": 1, "tab1": 2, "tab2": 3, "fig6": 4, "tab5": 5, "fig7": 6,
+		"tab6": 7, "fig10": 8, "tab7": 9, "fig13": 10, "fig12": 11,
+		"tab8": 12, "tab9": 13, "fig14": 14, "tab10": 15, "fig15": 16, "lru": 17,
+		"ablgws": 18, "ablsws": 19, "ablhier": 20,
+	}
+	if n, ok := idx[id]; ok {
+		return n
+	}
+	return 99
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment identifiers in paper order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// ln and exp1 are short aliases used by the experiment definitions.
+func ln(x float64) float64   { return math.Log(x) }
+func exp1(x float64) float64 { return math.Exp(x) }
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// spd formats a speedup.
+func spd(x float64) string { return fmt.Sprintf("%.3f", x) }

@@ -1,0 +1,102 @@
+// Package memtypes defines the shared address arithmetic and request types
+// used throughout the memory-system model: byte addresses, 64-byte line
+// addresses, 4 KB pages, and the 4 KB regions that ganged way-steering
+// tracks.
+package memtypes
+
+import "fmt"
+
+// Fundamental granularities of the modeled system. The paper's DRAM cache
+// (Intel KNL-style, alloy-style) uses 64-byte lines; ganged way-steering
+// operates on 4 KB regions, which coincide with the virtual-memory page
+// size.
+const (
+	LineShift = 6
+	LineSize  = 1 << LineShift // 64 B cache line
+
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KB page
+
+	RegionShift = 12
+	RegionSize  = 1 << RegionShift // 4 KB GWS region
+
+	LinesPerPage   = PageSize / LineSize
+	LinesPerRegion = RegionSize / LineSize
+
+	// TagUnitSize is the size of the tags-with-data unit streamed on every
+	// DRAM-cache access: 64 B data + 8 B of tag+ECC (paper Figure 2).
+	TagUnitSize = 72
+)
+
+// Addr is a byte address (virtual or physical depending on context).
+type Addr uint64
+
+// LineAddr is a 64-byte-line address: Addr >> LineShift.
+type LineAddr uint64
+
+// PageNum is a 4 KB page (or frame) number: Addr >> PageShift.
+type PageNum uint64
+
+// RegionID identifies a 4 KB spatially contiguous region of the physical
+// address space; GWS coordinates install decisions within a region.
+type RegionID uint64
+
+// Line returns the line address containing a.
+func (a Addr) Line() LineAddr { return LineAddr(a >> LineShift) }
+
+// Page returns the page number containing a.
+func (a Addr) Page() PageNum { return PageNum(a >> PageShift) }
+
+// Addr returns the byte address of the first byte of the line.
+func (l LineAddr) Addr() Addr { return Addr(l) << LineShift }
+
+// Page returns the page containing the line.
+func (l LineAddr) Page() PageNum { return PageNum(l >> (PageShift - LineShift)) }
+
+// Region returns the GWS region containing the line.
+func (l LineAddr) Region() RegionID { return RegionID(l >> (RegionShift - LineShift)) }
+
+// PageOffset returns the index of the line within its page.
+func (l LineAddr) PageOffset() uint64 { return uint64(l) & (LinesPerPage - 1) }
+
+// Line returns the line address of the i-th line in the page.
+func (p PageNum) Line(i uint64) LineAddr {
+	return LineAddr(uint64(p)<<(PageShift-LineShift) | (i & (LinesPerPage - 1)))
+}
+
+// Addr returns the byte address of the start of the page.
+func (p PageNum) Addr() Addr { return Addr(p) << PageShift }
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+const (
+	// Read is a demand read (load) access.
+	Read Kind = iota
+	// Write is a store or a writeback access.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Request is a memory request presented to a cache level or memory device.
+type Request struct {
+	Line LineAddr
+	Kind Kind
+	Core int
+}
+
+// String implements fmt.Stringer.
+func (r Request) String() string {
+	return fmt.Sprintf("{core %d %s line %#x}", r.Core, r.Kind, uint64(r.Line))
+}

@@ -1,0 +1,112 @@
+package memtypes
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if LineSize != 64 {
+		t.Errorf("LineSize = %d, want 64", LineSize)
+	}
+	if PageSize != 4096 {
+		t.Errorf("PageSize = %d, want 4096", PageSize)
+	}
+	if RegionSize != 4096 {
+		t.Errorf("RegionSize = %d, want 4096", RegionSize)
+	}
+	if LinesPerPage != 64 {
+		t.Errorf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+	if TagUnitSize != 72 {
+		t.Errorf("TagUnitSize = %d, want 72", TagUnitSize)
+	}
+}
+
+func TestAddrLineRoundTrip(t *testing.T) {
+	for _, a := range []Addr{0, 63, 64, 65, 4095, 4096, 1 << 40} {
+		l := a.Line()
+		if got := l.Addr(); got != a&^(LineSize-1) {
+			t.Errorf("Addr(%#x).Line().Addr() = %#x, want %#x", a, got, a&^(LineSize-1))
+		}
+	}
+}
+
+func TestLinePage(t *testing.T) {
+	a := Addr(3*PageSize + 5*LineSize)
+	if got := a.Page(); got != 3 {
+		t.Errorf("Page = %d, want 3", got)
+	}
+	if got := a.Line().Page(); got != 3 {
+		t.Errorf("Line().Page() = %d, want 3", got)
+	}
+	if got := a.Line().PageOffset(); got != 5 {
+		t.Errorf("PageOffset = %d, want 5", got)
+	}
+}
+
+func TestPageLine(t *testing.T) {
+	p := PageNum(7)
+	l := p.Line(9)
+	if l.Page() != p {
+		t.Errorf("page of constructed line = %d, want %d", l.Page(), p)
+	}
+	if l.PageOffset() != 9 {
+		t.Errorf("offset of constructed line = %d, want 9", l.PageOffset())
+	}
+	// Offset wraps within the page.
+	if p.Line(LinesPerPage+1) != p.Line(1) {
+		t.Error("Line offset did not wrap within page")
+	}
+}
+
+func TestRegionMatchesPage(t *testing.T) {
+	// With RegionShift == PageShift, lines in the same page share a region.
+	p := PageNum(42)
+	r := p.Line(0).Region()
+	for i := uint64(1); i < LinesPerPage; i++ {
+		if p.Line(i).Region() != r {
+			t.Fatalf("line %d of page 42 has region %d, want %d", i, p.Line(i).Region(), r)
+		}
+	}
+	if p.Line(0).Region() == PageNum(43).Line(0).Region() {
+		t.Error("adjacent pages share a region")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Errorf("Kind strings = %q, %q", Read, Write)
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind produced empty string")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{Line: 0x10, Kind: Write, Core: 3}
+	if r.String() == "" {
+		t.Error("empty request string")
+	}
+}
+
+func TestQuickLineRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw &^ (LineSize - 1)) // line-aligned address
+		return a.Line().Addr() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPageLineConsistency(t *testing.T) {
+	f := func(rawPage uint64, off uint64) bool {
+		p := PageNum(rawPage & ((1 << 40) - 1))
+		l := p.Line(off)
+		return l.Page() == p && l.PageOffset() == off&(LinesPerPage-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

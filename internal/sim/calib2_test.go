@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"accord/internal/stats"
+	"accord/internal/workloads"
+)
+
+// TestSpeedupProbe prints weighted speedups for key configurations on a
+// sample of workloads; a manual calibration aid.
+func TestSpeedupProbe(t *testing.T) {
+	if os.Getenv("ACCORD_CALIB") == "" {
+		t.Skip("calibration diagnostic; set ACCORD_CALIB=1 to run")
+	}
+	names := []string{"soplex", "libquantum", "sphinx3", "mcf", "omnetpp", "milc", "nekbone"}
+	cfgs := []Config{
+		Parallel(2), Serial(2), PWS(0.85), GWS(), ACCORD(2),
+		PerfectWP(2), Idealized(2), Idealized(8), Parallel(8), ACCORD(8),
+	}
+	run := func(cfg Config, name string) Result {
+		wl := workloads.MustGet(name, cfg.Cores)
+		return New(cfg, wl).Run(name)
+	}
+	header := []string{"wl"}
+	for _, c := range cfgs {
+		header = append(header, c.Name)
+	}
+	tb := stats.NewTable("speedup vs DM", header...)
+	logsum := make([]float64, len(cfgs))
+	for _, name := range names {
+		base := run(DirectMapped(), name)
+		row := []string{name}
+		for ci, cfg := range cfgs {
+			ws := WeightedSpeedup(run(cfg, name), base)
+			logsum[ci] += math.Log(ws)
+			row = append(row, fmt.Sprintf("%.3f", ws))
+		}
+		tb.AddRow(row...)
+	}
+	grow := []string{"GEOMEAN"}
+	for _, l := range logsum {
+		grow = append(grow, fmt.Sprintf("%.3f", math.Exp(l/float64(len(names)))))
+	}
+	tb.AddRow(grow...)
+	fmt.Println(tb.Render())
+}

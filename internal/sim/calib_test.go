@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"accord/internal/workloads"
+)
+
+// TestCalibration prints per-workload hit rates across associativities.
+// Run manually: go test ./internal/sim/ -run TestCalibration -v -calib
+func TestCalibration(t *testing.T) {
+	if os.Getenv("ACCORD_CALIB") == "" {
+		t.Skip("calibration diagnostic; set ACCORD_CALIB=1 to run")
+	}
+	names := workloads.CoreSuite()
+	type row struct {
+		name                 string
+		dm, w2, w4, w8, acc2 float64
+		accur, ipc           float64
+	}
+	rows := make([]row, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			run := func(cfg Config) Result {
+				cfg.WarmupInstr = 2_000_000
+				cfg.MeasureInstr = 2_000_000
+				wl := workloads.MustGet(name, cfg.Cores)
+				return New(cfg, wl).Run(name)
+			}
+			dm := run(DirectMapped())
+			w2 := run(Idealized(2))
+			w4 := run(Idealized(4))
+			w8 := run(Idealized(8))
+			a2 := run(ACCORD(2))
+			rows[i] = row{name, dm.HitRate(), w2.HitRate(), w4.HitRate(), w8.HitRate(), a2.HitRate(), a2.Accuracy(), dm.MeanIPC()}
+		}(i, name)
+	}
+	wg.Wait()
+	var sdm, s2, s4, s8 float64
+	for _, r := range rows {
+		fmt.Printf("%-12s dm=%.3f 2w=%.3f 4w=%.3f 8w=%.3f acc2hit=%.3f wpacc=%.3f ipc=%.3f\n",
+			r.name, r.dm, r.w2, r.w4, r.w8, r.acc2, r.accur, r.ipc)
+		sdm += r.dm
+		s2 += r.w2
+		s4 += r.w4
+		s8 += r.w8
+	}
+	n := float64(len(rows))
+	fmt.Printf("AVG          dm=%.3f 2w=%.3f 4w=%.3f 8w=%.3f   (paper: .742 .775 ~.79 .797)\n", sdm/n, s2/n, s4/n, s8/n)
+}

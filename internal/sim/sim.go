@@ -1,0 +1,468 @@
+// Package sim wires the full system of Table III — 16 cores, virtual
+// memory, a gigascale DRAM cache in stacked DRAM, and PCM-like main
+// memory — and runs workloads through it, producing the hit-rate,
+// way-prediction, bandwidth, and weighted-speedup numbers the paper's
+// tables and figures report.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"accord/internal/cache"
+	"accord/internal/core"
+	"accord/internal/cpu"
+	"accord/internal/dram"
+	"accord/internal/dramcache"
+	"accord/internal/memtypes"
+	"accord/internal/vm"
+	"accord/internal/workloads"
+)
+
+// PolicyFactory builds a way policy for a given cache geometry.
+type PolicyFactory func(geom core.Geometry, seed int64) core.Policy
+
+// Config describes one system configuration to simulate.
+type Config struct {
+	Name string
+
+	Cores      int
+	IssueWidth int
+	MSHRs      int
+	CPUGHz     float64
+	SRAMLat    int64
+
+	// Scale divides the full-size capacities (L4, NVM, workload
+	// footprints follow automatically since they are cache-relative).
+	// Scale 1 simulates the paper's actual 4 GB configuration.
+	Scale int64
+
+	// L4CapacityFull is the unscaled DRAM cache capacity (default 4 GB).
+	L4CapacityFull int64
+	Ways           int
+	Lookup         dramcache.Lookup
+	LRUReplacement bool
+	// UseCA replaces the set-associative organization with the
+	// column-associative baseline (Ways/Lookup/Policy are then ignored).
+	UseCA bool
+
+	// FullHierarchy models the on-chip SRAM levels explicitly: workload
+	// events traverse per-core L1/L2 and a shared L3 (with DCP+way bits)
+	// before reaching the DRAM cache, and L3 dirty evictions become the
+	// L4 writebacks. The default (false) drives the L4 with post-L3 miss
+	// streams directly, which is what the Table IV MPKI calibration
+	// describes; full-hierarchy mode exercises the complete substrate.
+	FullHierarchy bool
+	// Policy builds the way-steering/prediction policy; defaults to the
+	// unbiased random policy when nil.
+	Policy PolicyFactory
+
+	// NVMCapacityFull is the unscaled main memory capacity (default 128 GB).
+	NVMCapacityFull int64
+
+	// WorkloadAnchorLines, when nonzero, anchors workload footprints to a
+	// fixed line count instead of the configured cache size — used by the
+	// cache-size sensitivity study (Table VIII), where the workload must
+	// stay constant while the cache grows.
+	WorkloadAnchorLines uint64
+
+	HBM dram.Config
+	PCM dram.Config
+
+	// WarmupInstr and MeasureInstr are per-core instruction budgets. By
+	// default they are lower bounds: windows grow adaptively so low-MPKI
+	// workloads still generate enough cache traffic (see adaptiveBudget).
+	WarmupInstr  int64
+	MeasureInstr int64
+
+	// DisableAdaptiveBudgets uses WarmupInstr/MeasureInstr exactly as
+	// given. Intended for full-scale (Scale=1) demonstrations where the
+	// adaptive window would be prohibitively long.
+	DisableAdaptiveBudgets bool
+
+	Seed int64
+}
+
+// Default returns the Table III baseline: a 16-core 3 GHz system with a
+// 4 GB direct-mapped DRAM cache (scaled by 1/256 for simulation speed)
+// and 128 GB of PCM.
+func Default() Config {
+	return Config{
+		Name:            "direct-mapped",
+		Cores:           16,
+		IssueWidth:      2,
+		MSHRs:           12,
+		CPUGHz:          3.0,
+		SRAMLat:         51,
+		Scale:           256,
+		L4CapacityFull:  4 << 30,
+		Ways:            1,
+		Lookup:          dramcache.LookupPredicted,
+		NVMCapacityFull: 128 << 30,
+		HBM:             dram.HBM(),
+		PCM:             dram.PCM(),
+		WarmupInstr:     4_000_000,
+		MeasureInstr:    4_000_000,
+		Seed:            1,
+	}
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("sim: cores %d must be >= 1", c.Cores)
+	case c.Scale < 1:
+		return fmt.Errorf("sim: scale %d must be >= 1", c.Scale)
+	case c.L4CapacityFull <= 0 || c.NVMCapacityFull <= 0:
+		return fmt.Errorf("sim: capacities must be positive")
+	case c.CPUGHz <= 0:
+		return fmt.Errorf("sim: CPU clock %v must be positive", c.CPUGHz)
+	case !c.UseCA && c.Ways < 1:
+		return fmt.Errorf("sim: ways %d must be >= 1", c.Ways)
+	case c.WarmupInstr < 0 || c.MeasureInstr <= 0:
+		return fmt.Errorf("sim: instruction budgets invalid")
+	}
+	return nil
+}
+
+// L4Capacity returns the scaled DRAM-cache capacity in bytes.
+func (c Config) L4Capacity() int64 { return c.L4CapacityFull / c.Scale }
+
+// L4Lines returns the scaled DRAM-cache capacity in lines.
+func (c Config) L4Lines() uint64 { return uint64(c.L4Capacity() / memtypes.LineSize) }
+
+// Result captures one simulation run.
+type Result struct {
+	Config   string
+	Workload string
+
+	IPC []float64 // per-core, over the measurement window
+
+	L4  dramcache.Stats
+	HBM dram.Stats
+	PCM dram.Stats
+	// L3 is populated only in full-hierarchy mode.
+	L3 cache.Stats
+
+	// Cycles is the longest per-core measurement window, i.e. the
+	// wall-clock length of the measured phase.
+	Cycles int64
+	// Instructions is the total measured instruction count.
+	Instructions int64
+}
+
+// HitRate returns the demand-read hit rate of the run.
+func (r Result) HitRate() float64 { return r.L4.HitRate() }
+
+// Accuracy returns the way-prediction accuracy of the run.
+func (r Result) Accuracy() float64 { return r.L4.PredictionAccuracy() }
+
+// MeanIPC returns the arithmetic mean of per-core IPCs.
+func (r Result) MeanIPC() float64 {
+	if len(r.IPC) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range r.IPC {
+		sum += x
+	}
+	return sum / float64(len(r.IPC))
+}
+
+// WeightedSpeedup returns the paper's performance metric: the mean of
+// per-core IPC ratios between a target run and its baseline (both must
+// have run the same workload and seeds).
+func WeightedSpeedup(target, baseline Result) float64 {
+	if len(target.IPC) != len(baseline.IPC) || len(target.IPC) == 0 {
+		return 0
+	}
+	sum := 0.0
+	n := 0
+	for i := range target.IPC {
+		if baseline.IPC[i] > 0 {
+			sum += target.IPC[i] / baseline.IPC[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// System is one assembled simulation instance.
+type System struct {
+	cfg   Config
+	specs []workloads.Spec
+	cores []*cpu.Core
+	l4    dramcache.Interface
+	hbm   *dram.Device
+	pcm   *dram.Device
+	l3    *cache.Cache // non-nil in full-hierarchy mode
+}
+
+// memAdapter bridges the core's MemorySystem to the DRAM cache in the
+// default (post-L3 stream) mode.
+type memAdapter struct{ l4 dramcache.Interface }
+
+func (m memAdapter) Read(at int64, line memtypes.LineAddr) int64 {
+	return m.l4.AccessRead(at, line).Done
+}
+
+func (m memAdapter) Write(at int64, line memtypes.LineAddr) {
+	m.l4.Writeback(at, line)
+}
+
+// hierAdapter routes one core's accesses through its SRAM hierarchy: L3
+// misses reach the DRAM cache, fills record DCP+way state in the L3, and
+// dirty L3 evictions become probe-free L4 writebacks.
+type hierAdapter struct {
+	h  *cache.Hierarchy
+	l4 dramcache.Interface
+}
+
+func (m hierAdapter) Read(at int64, line memtypes.LineAddr) int64 {
+	out := m.h.Access(line, false)
+	m.sink(at+out.Latency, out.Writebacks)
+	if out.Level < 4 {
+		return at + out.Latency
+	}
+	rr := m.l4.AccessRead(at+out.Latency, line)
+	wbs := m.h.FillFromBelow(line, false, cache.DCP{Present: true, Way: rr.Way})
+	m.sink(rr.Done, wbs)
+	return rr.Done
+}
+
+func (m hierAdapter) Write(at int64, line memtypes.LineAddr) {
+	out := m.h.Access(line, true)
+	m.sink(at+out.Latency, out.Writebacks)
+	if out.Level < 4 {
+		return
+	}
+	// Write miss: allocate through the DRAM cache, then dirty the line.
+	rr := m.l4.AccessRead(at+out.Latency, line)
+	wbs := m.h.FillFromBelow(line, true, cache.DCP{Present: true, Way: rr.Way})
+	m.sink(rr.Done, wbs)
+}
+
+// sink forwards dirty L3 victims to the DRAM cache.
+func (m hierAdapter) sink(at int64, wbs []cache.Writeback) {
+	for _, wb := range wbs {
+		m.l4.Writeback(at, wb.Line)
+	}
+}
+
+// New assembles a system for one workload. It panics on invalid
+// configurations (programming errors); unknown workloads surface earlier
+// from the workloads package.
+func New(cfg Config, wl workloads.Workload) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(wl.Specs) != cfg.Cores {
+		panic(fmt.Sprintf("sim: workload %s has %d specs for %d cores", wl.Name, len(wl.Specs), cfg.Cores))
+	}
+
+	hbm := dram.New(cfg.HBM, cfg.CPUGHz)
+	pcm := dram.New(cfg.PCM, cfg.CPUGHz)
+
+	var l4 dramcache.Interface
+	if cfg.UseCA {
+		l4 = dramcache.NewCA(cfg.L4Capacity(), hbm, pcm)
+	} else {
+		geom := core.Geometry{
+			Sets: uint64(cfg.L4Capacity() / (int64(cfg.Ways) * memtypes.LineSize)),
+			Ways: cfg.Ways,
+		}
+		factory := cfg.Policy
+		if factory == nil {
+			factory = func(g core.Geometry, seed int64) core.Policy { return core.NewRand(g, seed) }
+		}
+		pol := factory(geom, cfg.Seed)
+		l4 = dramcache.New(dramcache.Config{
+			CapacityBytes:  cfg.L4Capacity(),
+			Ways:           cfg.Ways,
+			Lookup:         cfg.Lookup,
+			LRUReplacement: cfg.LRUReplacement,
+		}, pol, hbm, pcm)
+	}
+
+	frames := uint64(cfg.NVMCapacityFull / cfg.Scale / memtypes.PageSize)
+	vmsys := vm.NewSystem(frames, vm.AllocRandom, cfg.Seed)
+
+	s := &System{cfg: cfg, specs: wl.Specs, l4: l4, hbm: hbm, pcm: pcm}
+	params := cpu.Params{IssueWidth: cfg.IssueWidth, MSHRs: cfg.MSHRs, SRAMLat: cfg.SRAMLat}
+	var hiers []*cache.Hierarchy
+	if cfg.FullHierarchy {
+		hiers, s.l3 = cache.NewSharedHierarchies(cache.DefaultHierarchy(cfg.Scale), cfg.Cores)
+		// The SRAM path is now modeled structurally; only the L1 lookup
+		// remains as a fixed cost on the issue path.
+		params.SRAMLat = 0
+	}
+	anchor := cfg.WorkloadAnchorLines
+	if anchor == 0 {
+		anchor = cfg.L4Lines()
+	}
+	if wl.Streams != nil && len(wl.Streams) != cfg.Cores {
+		panic(fmt.Sprintf("sim: workload %s has %d streams for %d cores", wl.Name, len(wl.Streams), cfg.Cores))
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		var stream workloads.Stream
+		if wl.Streams != nil {
+			stream = wl.Streams[i]
+		} else {
+			stream = workloads.NewStream(wl.Specs[i], anchor, cfg.Cores, cfg.Seed*1000+int64(i))
+		}
+		space := vmsys.NewSpace()
+		var mem cpu.MemorySystem = memAdapter{l4: l4}
+		if cfg.FullHierarchy {
+			mem = hierAdapter{h: hiers[i], l4: l4}
+		}
+		s.cores = append(s.cores, cpu.New(i, params, stream, space.TranslateLine, mem))
+	}
+	return s
+}
+
+// L4 exposes the cache for inspection.
+func (s *System) L4() dramcache.Interface { return s.l4 }
+
+// warmFactor and measureFactor size the adaptive instruction windows in
+// units of "L4 accesses per cache line": warmup must touch the cache
+// enough times to reach steady state, and the measurement window must be
+// long enough for stable statistics, regardless of the workload's MPKI.
+const (
+	warmFactor    = 3.0
+	measureFactor = 1.5
+)
+
+// adaptiveBudget converts an access budget (accesses ≈ factor * cache
+// lines) into per-core instructions for this workload's average MPKI.
+func (s *System) adaptiveBudget(factor float64, configured int64) int64 {
+	if s.cfg.DisableAdaptiveBudgets {
+		return configured
+	}
+	mpki := 0.0
+	for _, spec := range s.specs {
+		mpki += spec.MPKI
+	}
+	mpki /= float64(len(s.specs))
+	instr := int64(factor * float64(s.cfg.L4Lines()) * 1000 / (mpki * float64(s.cfg.Cores)))
+	if instr < configured {
+		return configured
+	}
+	return instr
+}
+
+// Run executes warmup then the measurement window and returns the result.
+func (s *System) Run(wlName string) Result {
+	// Warmup: advance every core far enough to warm the cache (low-MPKI
+	// workloads need more instructions to generate the same traffic).
+	warm := s.adaptiveBudget(warmFactor, s.cfg.WarmupInstr)
+	targets := make([]int64, len(s.cores))
+	for i := range targets {
+		targets[i] = warm
+	}
+	s.advanceUntil(targets)
+	s.l4.ResetStats()
+	s.hbm.ResetStats()
+	s.pcm.ResetStats()
+	if s.l3 != nil {
+		s.l3.ResetStats()
+	}
+	for _, c := range s.cores {
+		c.MarkWindow()
+	}
+
+	// Measure: each core runs a full measurement budget past its own
+	// warmup crossing (in a mix, fast cores may have run far ahead while
+	// slow cores warmed up).
+	measure := s.adaptiveBudget(measureFactor, s.cfg.MeasureInstr)
+	for i, c := range s.cores {
+		targets[i] = c.Instructions() + measure
+	}
+	finish := s.advanceUntil(targets)
+
+	res := Result{
+		Config:   s.cfg.Name,
+		Workload: wlName,
+		L4:       *s.l4.Stats(),
+		HBM:      s.hbm.Stats(),
+		PCM:      s.pcm.Stats(),
+	}
+	if s.l3 != nil {
+		res.L3 = s.l3.Stats()
+	}
+	for i := range s.cores {
+		cycles := finish[i].cycles
+		instr := finish[i].instr
+		if cycles > 0 {
+			res.IPC = append(res.IPC, float64(instr)/float64(cycles))
+		} else {
+			res.IPC = append(res.IPC, 0)
+		}
+		if cycles > res.Cycles {
+			res.Cycles = cycles
+		}
+		res.Instructions += instr
+	}
+	return res
+}
+
+type finishPoint struct {
+	cycles int64 // window cycles at crossing
+	instr  int64 // window instructions at crossing
+}
+
+// advanceUntil steps cores in global time order until every core i has
+// retired at least targets[i] total instructions, recording each core's
+// measurement window at its crossing point. Cores that finish early keep
+// running (up to a bounded overshoot) so shared-resource contention stays
+// realistic while slower cores are still being measured.
+func (s *System) advanceUntil(targets []int64) []finishPoint {
+	n := len(s.cores)
+	finish := make([]finishPoint, n)
+	done := make([]bool, n)
+	caps := make([]int64, n)
+	remaining := 0
+	for i, c := range s.cores {
+		// A finished core may keep generating load for up to 4 extra
+		// budgets before it freezes (bounding simulation cost when core
+		// speeds differ by orders of magnitude, as in mixes).
+		caps[i] = targets[i] + 4*(targets[i]-c.Instructions())
+		if c.Instructions() >= targets[i] {
+			done[i] = true
+			finish[i] = finishPoint{cycles: c.WindowCycles(), instr: c.WindowInstructions()}
+		} else {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		// Advance the core with the smallest local time; with 16 cores a
+		// linear scan beats a heap.
+		min := -1
+		var minTime int64 = math.MaxInt64
+		for i, c := range s.cores {
+			if !done[i] && c.Time() < minTime {
+				min, minTime = i, c.Time()
+			}
+		}
+		// Let already-finished cores keep pace so they keep generating
+		// memory pressure while slower cores are measured.
+		for i, c := range s.cores {
+			if done[i] {
+				for c.Time() < minTime && c.Instructions() < caps[i] {
+					c.Step()
+				}
+			}
+		}
+		c := s.cores[min]
+		c.Step()
+		if c.Instructions() >= targets[min] {
+			done[min] = true
+			finish[min] = finishPoint{cycles: c.WindowCycles(), instr: c.WindowInstructions()}
+			remaining--
+		}
+	}
+	return finish
+}

@@ -1,0 +1,295 @@
+// Package stats provides the counters, aggregations, and plain-text table
+// rendering used by the simulator and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs. Non-positive entries are
+// ignored; an empty (or all-ignored) input yields 0.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Amean returns the arithmetic mean of xs, or 0 for an empty input.
+func Amean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Ratio returns num/den, or 0 when den is 0.
+func Ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Pct returns 100*num/den, or 0 when den is 0.
+func Pct(num, den float64) float64 { return 100 * Ratio(num, den) }
+
+// Counters is an ordered set of named uint64 counters. The zero value is
+// ready to use.
+type Counters struct {
+	names  []string
+	values map[string]uint64
+}
+
+// Add increments counter name by delta, creating it on first use.
+func (c *Counters) Add(name string, delta uint64) {
+	if c.values == nil {
+		c.values = make(map[string]uint64)
+	}
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Inc increments counter name by 1.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of counter name (0 if never touched).
+func (c *Counters) Get(name string) uint64 { return c.values[name] }
+
+// Names returns the counter names in first-use order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Reset zeroes every counter but keeps the name ordering.
+func (c *Counters) Reset() {
+	for k := range c.values {
+		c.values[k] = 0
+	}
+}
+
+// String renders the counters one per line, in first-use order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.names {
+		fmt.Fprintf(&b, "%-28s %d\n", n, c.values[n])
+	}
+	return b.String()
+}
+
+// Table accumulates rows of cells and renders them with aligned columns —
+// the shape in which the experiment harness reproduces the paper's tables
+// and figure series.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row of preformatted cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row formatting each value: strings verbatim, float64
+// with %.2f, everything else with %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render produces the aligned plain-text form of the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, len(c))
+			} else if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteString("\n")
+	}
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Distribution is a streaming summary of a series of observations.
+type Distribution struct {
+	n          uint64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Observe adds one observation.
+func (d *Distribution) Observe(x float64) {
+	if d.n == 0 || x < d.min {
+		d.min = x
+	}
+	if d.n == 0 || x > d.max {
+		d.max = x
+	}
+	d.n++
+	d.sum += x
+	d.sumSq += x * x
+}
+
+// Count returns the number of observations.
+func (d *Distribution) Count() uint64 { return d.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (d *Distribution) Min() float64 { return d.min }
+
+// Max returns the largest observation (0 when empty).
+func (d *Distribution) Max() float64 { return d.max }
+
+// StdDev returns the population standard deviation (0 when empty).
+func (d *Distribution) StdDev() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	m := d.Mean()
+	v := d.sumSq/float64(d.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// SortedKeys returns the keys of m in ascending order; a convenience for
+// deterministic iteration when printing per-workload results.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Bar renders value as a proportional ASCII bar of at most width cells,
+// scaled so that scale maps to the full width. Negative values and a
+// non-positive scale yield an empty bar. Useful for rendering the paper's
+// speedup figures as text.
+func Bar(value, scale float64, width int) string {
+	if width <= 0 || scale <= 0 || value <= 0 {
+		return ""
+	}
+	cells := int(value / scale * float64(width))
+	if cells > width {
+		cells = width
+	}
+	return strings.Repeat("#", cells)
+}
+
+// RenderMarkdown produces the GitHub-flavored-markdown form of the table,
+// used to regenerate EXPERIMENTS.md.
+func (t *Table) RenderMarkdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	cols := len(t.header)
+	for _, row := range t.rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	if cols == 0 {
+		return b.String()
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteString(" " + c + " |")
+		}
+		b.WriteString("\n")
+	}
+	header := t.header
+	if len(header) == 0 {
+		header = make([]string, cols)
+	}
+	writeRow(header)
+	b.WriteString("|")
+	for i := 0; i < cols; i++ {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); !almostEqual(g, 4) {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); !almostEqual(g, 1) {
+		t.Errorf("Geomean(1,1,1) = %v, want 1", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+	// Non-positive entries are skipped.
+	if g := Geomean([]float64{-1, 0, 4}); !almostEqual(g, 4) {
+		t.Errorf("Geomean with non-positive = %v, want 4", g)
+	}
+}
+
+func TestAmean(t *testing.T) {
+	if a := Amean([]float64{1, 2, 3}); !almostEqual(a, 2) {
+		t.Errorf("Amean = %v, want 2", a)
+	}
+	if a := Amean(nil); a != 0 {
+		t.Errorf("Amean(nil) = %v, want 0", a)
+	}
+}
+
+func TestRatioPct(t *testing.T) {
+	if r := Ratio(1, 2); !almostEqual(r, 0.5) {
+		t.Errorf("Ratio = %v", r)
+	}
+	if r := Ratio(1, 0); r != 0 {
+		t.Errorf("Ratio(_, 0) = %v, want 0", r)
+	}
+	if p := Pct(1, 4); !almostEqual(p, 25) {
+		t.Errorf("Pct = %v, want 25", p)
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := math.Abs(r)
+			if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) || x > 1e100 {
+				continue
+			}
+			xs = append(xs, x)
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		if len(xs) == 0 {
+			return Geomean(xs) == 0
+		}
+		g := Geomean(xs)
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Inc("hits")
+	c.Add("hits", 4)
+	c.Add("misses", 2)
+	if c.Get("hits") != 5 {
+		t.Errorf("hits = %d, want 5", c.Get("hits"))
+	}
+	if c.Get("misses") != 2 {
+		t.Errorf("misses = %d, want 2", c.Get("misses"))
+	}
+	if c.Get("absent") != 0 {
+		t.Errorf("absent counter = %d, want 0", c.Get("absent"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "hits" || names[1] != "misses" {
+		t.Errorf("Names() = %v, want [hits misses]", names)
+	}
+	if !strings.Contains(c.String(), "hits") {
+		t.Error("String() missing counter name")
+	}
+	c.Reset()
+	if c.Get("hits") != 0 || c.Get("misses") != 0 {
+		t.Error("Reset did not zero counters")
+	}
+	if len(c.Names()) != 2 {
+		t.Error("Reset dropped names")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRowf("alpha", 1.5)
+	tb.AddRowf("b", 12)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tb.NumRows())
+	}
+	out := tb.Render()
+	for _, want := range []string{"Demo", "name", "alpha", "1.50", "12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tb := NewTable("")
+	tb.AddRow("x")
+	out := tb.Render()
+	if strings.Contains(out, "==") {
+		t.Errorf("untitled table rendered a title: %q", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Errorf("row missing: %q", out)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	var d Distribution
+	if d.Mean() != 0 || d.StdDev() != 0 || d.Count() != 0 {
+		t.Error("empty distribution not zeroed")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		d.Observe(x)
+	}
+	if d.Count() != 4 {
+		t.Errorf("Count = %d", d.Count())
+	}
+	if !almostEqual(d.Mean(), 2.5) {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", d.Min(), d.Max())
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(d.StdDev()-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", d.StdDev(), want)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(1, 2, 10); b != "#####" {
+		t.Errorf("Bar(1,2,10) = %q, want 5 cells", b)
+	}
+	if b := Bar(3, 2, 10); b != "##########" {
+		t.Errorf("over-scale bar = %q, want clamped to width", b)
+	}
+	if Bar(-1, 2, 10) != "" || Bar(1, 0, 10) != "" || Bar(1, 2, 0) != "" {
+		t.Error("degenerate bars not empty")
+	}
+	if b := Bar(0.05, 2, 10); b != "" {
+		t.Errorf("tiny value bar = %q, want empty", b)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := NewTable("MD", "a", "b")
+	tb.AddRow("1", "2")
+	out := tb.RenderMarkdown()
+	for _, want := range []string{"**MD**", "| a | b |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Ragged rows pad to the widest row.
+	tb2 := NewTable("", "x")
+	tb2.AddRow("1", "2", "3")
+	out2 := tb2.RenderMarkdown()
+	if !strings.Contains(out2, "| 1 | 2 | 3 |") {
+		t.Errorf("ragged row mishandled:\n%s", out2)
+	}
+	if (NewTable("")).RenderMarkdown() != "" {
+		t.Error("empty table produced markdown")
+	}
+}

@@ -1,0 +1,144 @@
+// Package vm models the virtual memory system: per-core address spaces
+// with demand-allocated page tables over a shared physical frame pool.
+// The paper's methodology (Section III-A) performs virtual-to-physical
+// translation before the DRAM cache, which determines how workload access
+// patterns land on cache sets; random frame allocation reproduces the
+// realistic set-conflict behaviour the paper's workloads exhibit.
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accord/internal/memtypes"
+)
+
+// AllocPolicy selects how physical frames are assigned to newly touched
+// virtual pages.
+type AllocPolicy int
+
+const (
+	// AllocRandom assigns a uniformly random free frame (default; models a
+	// long-running OS with a fragmented free list).
+	AllocRandom AllocPolicy = iota
+	// AllocSequential assigns frames in increasing order (useful for
+	// deterministic tests and controlled conflict studies).
+	AllocSequential
+)
+
+// String implements fmt.Stringer.
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocRandom:
+		return "random"
+	case AllocSequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("AllocPolicy(%d)", int(p))
+	}
+}
+
+// System is the machine-wide VM state: one frame allocator shared by all
+// address spaces. It is not safe for concurrent use.
+type System struct {
+	numFrames uint64
+	policy    AllocPolicy
+	rng       *rand.Rand
+
+	used      []bool
+	usedCount uint64
+	nextSeq   uint64
+
+	spaces []*Space
+}
+
+// Space is one core's (or process's) page table.
+type Space struct {
+	sys *System
+	pt  map[memtypes.PageNum]memtypes.PageNum
+}
+
+// NewSystem creates a VM system managing numFrames physical frames. seed
+// makes random allocation reproducible.
+func NewSystem(numFrames uint64, policy AllocPolicy, seed int64) *System {
+	if numFrames == 0 {
+		panic("vm: zero physical frames")
+	}
+	return &System{
+		numFrames: numFrames,
+		policy:    policy,
+		rng:       rand.New(rand.NewSource(seed)),
+		used:      make([]bool, numFrames),
+	}
+}
+
+// NumFrames returns the physical frame count.
+func (s *System) NumFrames() uint64 { return s.numFrames }
+
+// AllocatedFrames returns the number of frames currently mapped.
+func (s *System) AllocatedFrames() uint64 { return s.usedCount }
+
+// NewSpace creates an address space backed by this system.
+func (s *System) NewSpace() *Space {
+	sp := &Space{sys: s, pt: make(map[memtypes.PageNum]memtypes.PageNum)}
+	s.spaces = append(s.spaces, sp)
+	return sp
+}
+
+// allocFrame picks a free frame per policy. When memory is exhausted it
+// wraps around and reuses frames deterministically (the simulator's
+// workloads are sized to avoid this; wrapping keeps long fuzz runs alive).
+func (s *System) allocFrame() memtypes.PageNum {
+	if s.usedCount >= s.numFrames {
+		// Out of physical memory: fall back to round-robin reuse.
+		f := memtypes.PageNum(s.nextSeq % s.numFrames)
+		s.nextSeq++
+		return f
+	}
+	switch s.policy {
+	case AllocSequential:
+		for s.used[s.nextSeq%s.numFrames] {
+			s.nextSeq++
+		}
+		f := s.nextSeq % s.numFrames
+		s.used[f] = true
+		s.usedCount++
+		s.nextSeq++
+		return memtypes.PageNum(f)
+	default:
+		for {
+			f := uint64(s.rng.Int63n(int64(s.numFrames)))
+			if !s.used[f] {
+				s.used[f] = true
+				s.usedCount++
+				return memtypes.PageNum(f)
+			}
+		}
+	}
+}
+
+// TranslateLine translates a virtual line address to a physical line
+// address, allocating a frame on first touch of the page.
+func (sp *Space) TranslateLine(vl memtypes.LineAddr) memtypes.LineAddr {
+	vp := vl.Page()
+	frame, ok := sp.pt[vp]
+	if !ok {
+		frame = sp.sys.allocFrame()
+		sp.pt[vp] = frame
+	}
+	return frame.Line(vl.PageOffset())
+}
+
+// Translate translates a virtual byte address, allocating on demand.
+func (sp *Space) Translate(va memtypes.Addr) memtypes.Addr {
+	pl := sp.TranslateLine(va.Line())
+	return pl.Addr() | (va & (memtypes.LineSize - 1))
+}
+
+// MappedPages returns the number of pages this space has touched.
+func (sp *Space) MappedPages() int { return len(sp.pt) }
+
+// FootprintBytes returns the physical memory this space occupies.
+func (sp *Space) FootprintBytes() int64 {
+	return int64(len(sp.pt)) * memtypes.PageSize
+}

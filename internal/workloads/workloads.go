@@ -1,0 +1,204 @@
+// Package workloads synthesizes the memory access streams the paper
+// evaluates on. Real SPEC-2006/GAP/HPC traces cannot be shipped, so each
+// named workload is a generator preset reproducing the characteristics
+// Table IV reports — L3 MPKI, memory footprint relative to the 4 GB cache,
+// and sensitivity to associativity — plus the two properties the ACCORD
+// mechanisms exploit: page-level spatial locality (for ganged
+// way-steering) and set-conflict intensity (for way associativity).
+//
+// Each stream models the post-L3 miss stream of one core: events carry
+// the instruction gap since the previous L3 miss (derived from MPKI), a
+// virtual line address, a write flag (dirty-writeback fraction), and a
+// dependence flag (whether the load serializes the core).
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"accord/internal/memtypes"
+)
+
+// Event is one post-L3 memory event of a core.
+type Event struct {
+	// Gap is the number of non-memory-system instructions executed since
+	// the previous event.
+	Gap int32
+	// Line is the virtual line address accessed.
+	Line memtypes.LineAddr
+	// Write marks the event as producing a dirty writeback toward the
+	// DRAM cache rather than a demand read.
+	Write bool
+	// Dep marks a load the core cannot proceed past until data returns
+	// (a pointer-chase-like critical dependence).
+	Dep bool
+}
+
+// Stream is an unbounded event source; the simulator decides when to stop.
+type Stream interface {
+	Next(ev *Event)
+}
+
+// Component is one constituent access pattern of a workload.
+type Component struct {
+	// Weight is the fraction of accesses this component receives.
+	Weight float64
+	// SizeRatio is the component's total footprint (across all cores in
+	// rate mode) as a fraction of the DRAM cache capacity.
+	SizeRatio float64
+	// StrideLines selects the reference order over the footprint:
+	//   1   — sequential cyclic scan (maximal spatial locality),
+	//   k>1 — cyclic permutation walk with the given stride (cyclic reuse
+	//         with little spatial locality),
+	//   0   — uniform random re-reference (no cyclic structure).
+	StrideLines uint64
+}
+
+// Spec parameterizes one core's generator.
+type Spec struct {
+	Name string
+	// MPKI is the L3 miss rate this stream models; the mean instruction
+	// gap between events is 1000/MPKI.
+	MPKI float64
+	// WriteFrac is the fraction of events that are dirty writebacks.
+	WriteFrac float64
+	// DepFrac is the fraction of reads that serialize the core.
+	DepFrac float64
+	// Components must have weights summing to ~1.
+	Components []Component
+}
+
+// Validate reports a descriptive error for an unusable spec.
+func (s Spec) Validate() error {
+	if s.MPKI <= 0 {
+		return fmt.Errorf("workload %s: MPKI %v must be positive", s.Name, s.MPKI)
+	}
+	if s.WriteFrac < 0 || s.WriteFrac > 1 || s.DepFrac < 0 || s.DepFrac > 1 {
+		return fmt.Errorf("workload %s: fractions out of range", s.Name)
+	}
+	if len(s.Components) == 0 {
+		return fmt.Errorf("workload %s: no components", s.Name)
+	}
+	total := 0.0
+	for i, c := range s.Components {
+		if c.Weight < 0 || c.SizeRatio <= 0 {
+			return fmt.Errorf("workload %s: component %d has weight %v ratio %v", s.Name, i, c.Weight, c.SizeRatio)
+		}
+		total += c.Weight
+	}
+	if total < 0.99 || total > 1.01 {
+		return fmt.Errorf("workload %s: component weights sum to %v", s.Name, total)
+	}
+	return nil
+}
+
+// componentState is the runtime cursor of one component.
+type componentState struct {
+	base   memtypes.LineAddr // VA base of this component's arena
+	lines  uint64
+	stride uint64 // 0 = random
+	pos    uint64
+}
+
+// generator implements Stream for a Spec.
+type generator struct {
+	spec    Spec
+	rng     *rand.Rand
+	meanGap float64
+	cum     []float64 // cumulative component weights
+	comps   []componentState
+}
+
+// gcd returns the greatest common divisor of a and b.
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// NewStream builds the event stream for spec on one of `cores` cores of a
+// system whose DRAM cache holds cacheLines lines. Component footprints are
+// split evenly across cores (rate mode semantics); seed individualizes the
+// core's reference order.
+func NewStream(spec Spec, cacheLines uint64, cores int, seed int64) Stream {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	g := &generator{
+		spec:    spec,
+		rng:     rand.New(rand.NewSource(seed)),
+		meanGap: 1000 / spec.MPKI,
+	}
+	total := 0.0
+	for i, c := range spec.Components {
+		total += c.Weight
+		g.cum = append(g.cum, total)
+		lines := uint64(c.SizeRatio * float64(cacheLines) / float64(cores))
+		if lines < memtypes.LinesPerRegion {
+			lines = memtypes.LinesPerRegion
+		}
+		stride := c.StrideLines
+		if stride > 0 {
+			// Force the stride coprime with the footprint so a cyclic
+			// walk visits every line exactly once per cycle.
+			for gcd(stride, lines) != 1 {
+				stride++
+			}
+		}
+		g.comps = append(g.comps, componentState{
+			// Each component roams a disjoint virtual arena.
+			base:   memtypes.LineAddr(uint64(i+1) << 36),
+			lines:  lines,
+			stride: stride,
+			pos:    uint64(g.rng.Int63()) % lines,
+		})
+	}
+	return g
+}
+
+// Next implements Stream.
+func (g *generator) Next(ev *Event) {
+	// Exponential instruction gaps reproduce the bursty arrival process of
+	// real miss streams while matching the configured MPKI in expectation.
+	gap := g.rng.ExpFloat64() * g.meanGap
+	if gap > 1e6 {
+		gap = 1e6
+	}
+	ev.Gap = int32(gap)
+
+	// Pick a component by weight.
+	x := g.rng.Float64() * g.cum[len(g.cum)-1]
+	ci := 0
+	for ci < len(g.cum)-1 && x > g.cum[ci] {
+		ci++
+	}
+	c := &g.comps[ci]
+
+	var off uint64
+	if c.stride == 0 {
+		off = uint64(g.rng.Int63()) % c.lines
+	} else {
+		c.pos = (c.pos + c.stride) % c.lines
+		off = c.pos
+	}
+	ev.Line = c.base + memtypes.LineAddr(off)
+	ev.Write = g.rng.Float64() < g.spec.WriteFrac
+	ev.Dep = !ev.Write && g.rng.Float64() < g.spec.DepFrac
+}
+
+// FixedStream replays a fixed slice of events cyclically; used by tests
+// and by the cyclic-reference kernel experiments.
+type FixedStream struct {
+	Events []Event
+	pos    int
+}
+
+// Next implements Stream.
+func (f *FixedStream) Next(ev *Event) {
+	*ev = f.Events[f.pos%len(f.Events)]
+	f.pos++
+}

@@ -1,0 +1,290 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"accord/internal/memtypes"
+)
+
+const testCacheLines = 1 << 18 // 16 MB model cache
+
+func TestAllPresetsValid(t *testing.T) {
+	for _, name := range Names() {
+		w := MustGet(name, 16)
+		if len(w.Specs) != 16 {
+			t.Errorf("%s: %d specs, want 16", name, len(w.Specs))
+		}
+		for _, s := range w.Specs {
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			if s.Name == "" {
+				t.Errorf("%s: spec missing name", name)
+			}
+		}
+	}
+}
+
+func TestSuiteSizes(t *testing.T) {
+	if got := len(CoreSuite()); got != 21 {
+		t.Errorf("core suite = %d workloads, want 21 (Section III-B)", got)
+	}
+	if got := len(AllSuite()); got != 46 {
+		t.Errorf("all suite = %d workloads, want 46 (Section VI-A)", got)
+	}
+	if got := len(Names()); got != 36 {
+		t.Errorf("rate presets = %d, want 36 (29 SPEC + 6 GAP + 1 HPC)", got)
+	}
+	// Every suite member resolves.
+	for _, n := range AllSuite() {
+		if _, err := Get(n, 4); err != nil {
+			t.Errorf("suite member %q unresolvable: %v", n, err)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	counts := map[string]int{}
+	for _, n := range Names() {
+		counts[presets[n].suite]++
+	}
+	if counts["spec"] != 29 || counts["gap"] != 6 || counts["hpc"] != 1 {
+		t.Errorf("composition = %v, want 29 spec / 6 gap / 1 hpc", counts)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nosuchthing", 4); err == nil {
+		t.Error("unknown workload resolved")
+	}
+	if _, err := Get("mix11", 4); err == nil {
+		t.Error("mix11 resolved; only 10 mixes exist")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet did not panic")
+		}
+	}()
+	MustGet("bogus", 4)
+}
+
+func TestMixesAreMixed(t *testing.T) {
+	m := Mix(1, 16)
+	distinct := map[string]bool{}
+	for _, s := range m.Specs {
+		distinct[s.Name] = true
+	}
+	if len(distinct) < 4 {
+		t.Errorf("mix1 has only %d distinct specs", len(distinct))
+	}
+	// Different mixes differ.
+	m2 := Mix(2, 16)
+	same := true
+	for i := range m.Specs {
+		if m.Specs[i].Name != m2.Specs[i].Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("mix1 and mix2 identical")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Name: "nompki", MPKI: 0, Components: []Component{{Weight: 1, SizeRatio: 1, StrideLines: 1}}},
+		{Name: "badfrac", MPKI: 1, WriteFrac: 2, Components: []Component{{Weight: 1, SizeRatio: 1}}},
+		{Name: "nocomp", MPKI: 1},
+		{Name: "badweight", MPKI: 1, Components: []Component{{Weight: 0.5, SizeRatio: 1}}},
+		{Name: "badratio", MPKI: 1, Components: []Component{{Weight: 1, SizeRatio: 0}}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s passed validation", s.Name)
+		}
+	}
+}
+
+func TestStreamGapMatchesMPKI(t *testing.T) {
+	spec := presets["soplex"].spec
+	spec.Name = "soplex"
+	st := NewStream(spec, testCacheLines, 16, 1)
+	var ev Event
+	var total float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		st.Next(&ev)
+		total += float64(ev.Gap)
+	}
+	gotMPKI := 1000 / (total / n)
+	if math.Abs(gotMPKI-spec.MPKI)/spec.MPKI > 0.05 {
+		t.Errorf("measured MPKI %.1f, want ~%.1f", gotMPKI, spec.MPKI)
+	}
+}
+
+func TestStreamWriteFraction(t *testing.T) {
+	spec := presets["milc"].spec
+	spec.Name = "milc"
+	st := NewStream(spec, testCacheLines, 16, 2)
+	var ev Event
+	writes := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		st.Next(&ev)
+		if ev.Write {
+			writes++
+		}
+		if ev.Write && ev.Dep {
+			t.Fatal("write marked dependent")
+		}
+	}
+	if frac := float64(writes) / n; math.Abs(frac-spec.WriteFrac) > 0.01 {
+		t.Errorf("write fraction %.3f, want ~%.2f", frac, spec.WriteFrac)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	spec := presets["gcc"].spec
+	spec.Name = "gcc"
+	collect := func(seed int64) []Event {
+		st := NewStream(spec, testCacheLines, 16, seed)
+		out := make([]Event, 1000)
+		for i := range out {
+			st.Next(&out[i])
+		}
+		return out
+	}
+	a, b := collect(7), collect(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d", i)
+		}
+	}
+	c := collect(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestComponentsUseDisjointArenas(t *testing.T) {
+	spec := presets["soplex"].spec
+	spec.Name = "soplex"
+	st := NewStream(spec, testCacheLines, 16, 3)
+	var ev Event
+	arenas := map[uint64]bool{}
+	for i := 0; i < 50000; i++ {
+		st.Next(&ev)
+		arenas[uint64(ev.Line)>>36] = true
+	}
+	if len(arenas) != len(spec.Components) {
+		t.Errorf("saw %d arenas, want %d", len(arenas), len(spec.Components))
+	}
+}
+
+func TestSequentialComponentHasSpatialLocality(t *testing.T) {
+	// A pure stride-1 spec must access each region many times in a row.
+	spec := Spec{Name: "seq", MPKI: 10, Components: []Component{
+		{Weight: 1, SizeRatio: 0.5, StrideLines: 1},
+	}}
+	st := NewStream(spec, testCacheLines, 16, 4)
+	var ev Event
+	var prev memtypes.RegionID
+	sameRegion, total := 0, 20000
+	for i := 0; i < total; i++ {
+		st.Next(&ev)
+		r := ev.Line.Region()
+		if i > 0 && r == prev {
+			sameRegion++
+		}
+		prev = r
+	}
+	if frac := float64(sameRegion) / float64(total); frac < 0.9 {
+		t.Errorf("region continuity %.2f, want > 0.9 for stride-1", frac)
+	}
+}
+
+func TestStridedComponentLacksSpatialLocality(t *testing.T) {
+	spec := Spec{Name: "strided", MPKI: 10, Components: []Component{
+		{Weight: 1, SizeRatio: 0.5, StrideLines: 513},
+	}}
+	st := NewStream(spec, testCacheLines, 16, 4)
+	var ev Event
+	var prev memtypes.RegionID
+	sameRegion, total := 0, 20000
+	for i := 0; i < total; i++ {
+		st.Next(&ev)
+		r := ev.Line.Region()
+		if i > 0 && r == prev {
+			sameRegion++
+		}
+		prev = r
+	}
+	if frac := float64(sameRegion) / float64(total); frac > 0.2 {
+		t.Errorf("region continuity %.2f, want < 0.2 for large stride", frac)
+	}
+}
+
+func TestCyclicWalkCoversFootprint(t *testing.T) {
+	// A strided cyclic walk must visit every line exactly once per cycle.
+	spec := Spec{Name: "cyc", MPKI: 10, Components: []Component{
+		{Weight: 1, SizeRatio: float64(4*memtypes.LinesPerRegion) / testCacheLines * 16, StrideLines: 7},
+	}}
+	st := NewStream(spec, testCacheLines, 16, 5)
+	var ev Event
+	seen := map[memtypes.LineAddr]int{}
+	footprint := 4 * memtypes.LinesPerRegion
+	for i := 0; i < footprint; i++ {
+		st.Next(&ev)
+		seen[ev.Line]++
+	}
+	if len(seen) != footprint {
+		t.Errorf("one cycle visited %d distinct lines, want %d", len(seen), footprint)
+	}
+	for l, n := range seen {
+		if n != 1 {
+			t.Errorf("line %#x visited %d times in one cycle", uint64(l), n)
+		}
+	}
+}
+
+func TestFixedStreamWraps(t *testing.T) {
+	f := &FixedStream{Events: []Event{{Line: 1}, {Line: 2}}}
+	var ev Event
+	want := []memtypes.LineAddr{1, 2, 1, 2, 1}
+	for i, w := range want {
+		f.Next(&ev)
+		if ev.Line != w {
+			t.Errorf("event %d line = %d, want %d", i, ev.Line, w)
+		}
+	}
+}
+
+func TestNewStreamPanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid spec")
+		}
+	}()
+	NewStream(Spec{Name: "bad"}, testCacheLines, 16, 1)
+}
+
+func TestGCD(t *testing.T) {
+	cases := [][3]uint64{{12, 8, 4}, {7, 13, 1}, {0, 5, 5}, {5, 0, 5}, {9, 9, 9}}
+	for _, c := range cases {
+		if got := gcd(c[0], c[1]); got != c[2] {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
