@@ -1,0 +1,32 @@
+# Repository verification targets. `make verify` is what CI (and the
+# ROADMAP's tier-1 gate) should run; the individual targets are useful
+# while iterating.
+
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment scheduler is the main concurrency surface; exercise it
+# under the race detector (short mode keeps the full-experiment
+# determinism test out of the hot loop — `go test -race ./internal/exp`
+# without -short runs it too).
+race:
+	$(GO) test -race -short ./internal/exp ./internal/sim
+
+vet:
+	$(GO) vet ./...
+
+# A fast benchmark pass that catches gross performance or allocation
+# regressions on the hot paths the scheduler multiplies.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkSimulatorThroughput|BenchmarkSessionParallel|BenchmarkDRAMCacheRead' -benchtime 2x .
+
+verify: build vet test race

@@ -1,6 +1,8 @@
 package accord
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"accord/internal/core"
@@ -116,6 +118,30 @@ func BenchmarkWorkloadStream(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		st.Next(&ev)
+	}
+}
+
+// BenchmarkSessionParallel measures one full experiment through the
+// session scheduler at parallelism 1 versus GOMAXPROCS. On a multi-core
+// host the second sub-benchmark should approach a core-count speedup;
+// the rendered tables are byte-identical either way.
+func BenchmarkSessionParallel(b *testing.B) {
+	e, ok := exp.Find("tab6")
+	if !ok {
+		b.Fatal("unknown experiment tab6")
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := benchParams()
+				p.Parallelism = workers
+				s := exp.NewSession(p)
+				if tables := s.RunExperiment(e); len(tables) == 0 {
+					b.Fatal("tab6 produced no tables")
+				}
+			}
+		})
 	}
 }
 

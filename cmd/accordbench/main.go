@@ -3,16 +3,21 @@
 //	accordbench                      # run every experiment at full quality
 //	accordbench -experiment fig10    # one experiment
 //	accordbench -quick               # reduced scale for a fast look
+//	accordbench -parallel 8          # bound the simulation worker pool
 //	accordbench -list                # list experiment IDs
 //
 // Output is plain-text tables whose rows/series correspond to the paper's
-// artifacts; EXPERIMENTS.md records a reference run.
+// artifacts; EXPERIMENTS.md records a reference run. Simulations fan out
+// across a worker pool sized by GOMAXPROCS (override with -parallel);
+// tables are byte-identical at every parallelism setting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,9 +31,12 @@ func main() {
 		scale      = flag.Int64("scale", 0, "override capacity scale divisor")
 		cores      = flag.Int("cores", 0, "override core count")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
 		markdown   = flag.Bool("md", false, "render tables as GitHub-flavored markdown")
 		verbose    = flag.Bool("v", false, "log each simulation as it completes")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -37,6 +45,20 @@ func main() {
 			fmt.Printf("%-6s %-11s %s\n", e.ID, e.PaperRef, e.Title)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	p := exp.DefaultParams()
@@ -50,6 +72,7 @@ func main() {
 		p.Cores = *cores
 	}
 	p.Seed = *seed
+	p.Parallelism = *parallel
 	if *verbose {
 		p.Progress = os.Stderr
 	}
@@ -68,19 +91,42 @@ func main() {
 		}
 	}
 
+	workers := p.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	session := exp.NewSession(p)
+	total := time.Now()
+	// Worker count and timings go to stderr so stdout stays byte-identical
+	// across -parallel settings (diffable against a sequential run).
+	fmt.Fprintf(os.Stderr, "accordbench: %d simulation workers\n", workers)
 	fmt.Printf("# ACCORD reproduction — scale 1/%d, %d cores, seed %d\n\n",
 		p.Scale, p.Cores, p.Seed)
 	for _, e := range todo {
 		start := time.Now()
 		fmt.Printf("## %s (%s): %s\n\n", e.ID, e.PaperRef, e.Title)
-		for _, tb := range e.Run(session) {
+		for _, tb := range session.RunExperiment(e) {
 			if *markdown {
 				fmt.Println(tb.RenderMarkdown())
 			} else {
 				fmt.Println(tb.Render())
 			}
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "accordbench: %s in %.1fs\n", e.ID, time.Since(start).Seconds())
+	}
+	fmt.Fprintf(os.Stderr, "accordbench: total %.1fs with %d workers\n", time.Since(total).Seconds(), workers)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

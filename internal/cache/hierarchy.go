@@ -44,7 +44,9 @@ type Outcome struct {
 	Level int
 	// Latency is the SRAM lookup latency accumulated on the path.
 	Latency int64
-	// Writebacks are dirty L3 victims that must be written below.
+	// Writebacks are dirty L3 victims that must be written below. The
+	// slice aliases a per-hierarchy scratch buffer: it is valid only
+	// until the next Access or FillFromBelow on the same Hierarchy.
 	Writebacks []Writeback
 }
 
@@ -54,6 +56,9 @@ type Outcome struct {
 type Hierarchy struct {
 	l1, l2 *Cache
 	l3     *Cache // shared
+	// scratch backs Outcome.Writebacks so the per-access hot path stays
+	// allocation-free; each Access/FillFromBelow overwrites it.
+	scratch []Writeback
 }
 
 // NewSharedHierarchies builds n per-core hierarchies sharing one L3 and
@@ -72,38 +77,41 @@ func (h *Hierarchy) L3() *Cache { return h.l3 }
 
 // Access runs one load or store through L1→L2→L3. When Outcome.Level is 4
 // the caller must consult the DRAM cache and then call FillFromBelow.
+// Outcome.Writebacks must be consumed before the next call on h.
 func (h *Hierarchy) Access(l memtypes.LineAddr, write bool) Outcome {
-	out := Outcome{Latency: h.l1.cfg.HitLatency}
-	if h.l1.Lookup(l, write) {
+	out := Outcome{Latency: h.l1.cfg.HitLatency, Writebacks: h.scratch[:0]}
+	switch {
+	case h.l1.Lookup(l, write):
 		out.Level = 1
-		return out
-	}
-	out.Latency += h.l2.cfg.HitLatency
-	if h.l2.Lookup(l, false) {
+	case h.l2.Lookup(l, false):
+		out.Latency += h.l2.cfg.HitLatency
 		out.Level = 2
 		h.fillUpper(l, write, &out)
-		return out
-	}
-	out.Latency += h.l3.cfg.HitLatency
-	if h.l3.Lookup(l, false) {
+	case h.l3.Lookup(l, false):
+		out.Latency += h.l2.cfg.HitLatency + h.l3.cfg.HitLatency
 		out.Level = 3
 		h.fillUpper(l, write, &out)
-		return out
+	default:
+		out.Latency += h.l2.cfg.HitLatency + h.l3.cfg.HitLatency
+		out.Level = 4
 	}
-	out.Level = 4
+	h.scratch = out.Writebacks
 	return out
 }
 
 // FillFromBelow installs a line returned by the DRAM cache (or memory)
 // into L3, L2, and L1. dcp carries whether/where the line now resides in
-// the DRAM cache, enabling probe-free writebacks later.
-func (h *Hierarchy) FillFromBelow(l memtypes.LineAddr, write bool, dcp DCP) (wbs []Writeback) {
+// the DRAM cache, enabling probe-free writebacks later. The returned
+// slice aliases the hierarchy's scratch buffer and must be consumed
+// before the next call on h.
+func (h *Hierarchy) FillFromBelow(l memtypes.LineAddr, write bool, dcp DCP) []Writeback {
+	out := Outcome{Writebacks: h.scratch[:0]}
 	if ev, evicted := h.l3.Fill(l, false, dcp); evicted && ev.Dirty {
-		wbs = append(wbs, Writeback{Line: ev.Line, DCP: ev.DCP})
+		out.Writebacks = append(out.Writebacks, Writeback{Line: ev.Line, DCP: ev.DCP})
 	}
-	var out Outcome
 	h.fillUpper(l, write, &out)
-	return append(wbs, out.Writebacks...)
+	h.scratch = out.Writebacks
+	return out.Writebacks
 }
 
 // fillUpper pulls a line now available in a lower level into L2 and L1,

@@ -157,3 +157,58 @@ func TestHierarchyFiltersTraffic(t *testing.T) {
 		t.Errorf("L3 misses = %d, want 2 (compulsory only)", s.Misses)
 	}
 }
+
+func TestAccessDoesNotAllocate(t *testing.T) {
+	// Outcome.Writebacks reuses a per-hierarchy scratch buffer; once it
+	// has grown to the traffic's watermark, the access path must be
+	// allocation-free (the experiment scheduler multiplies this cost by
+	// every simulation in flight).
+	hs, _ := tinyHierarchy(1)
+	h := hs[0]
+	r := rand.New(rand.NewSource(7))
+	step := func() {
+		l := memtypes.LineAddr(r.Intn(512))
+		out := h.Access(l, r.Intn(2) == 0)
+		if out.Level == 4 {
+			h.FillFromBelow(l, false, DCP{Present: true, Way: 0})
+		}
+	}
+	for i := 0; i < 4096; i++ { // grow the scratch to its watermark
+		step()
+	}
+	if allocs := testing.AllocsPerRun(4096, step); allocs > 0 {
+		t.Errorf("hierarchy access allocates %.2f objects per access, want 0", allocs)
+	}
+}
+
+func TestWritebacksValidUntilNextCall(t *testing.T) {
+	// The documented contract: writebacks must be consumed before the
+	// next Access/FillFromBelow, which may overwrite the shared buffer.
+	hs, l3 := tinyHierarchy(1)
+	h := hs[0]
+	// Dirty a line in L3 and evict it through fills.
+	dirty := memtypes.LineAddr(0x11)
+	h.Access(dirty, true)
+	h.FillFromBelow(dirty, true, DCP{Present: true, Way: 1})
+	l3.Lookup(dirty, true)
+	var got []Writeback
+	for i := uint64(1); i <= 16 && len(got) == 0; i++ {
+		l := memtypes.LineAddr(uint64(dirty)&(l3.NumSets()-1) | i<<40)
+		h.Access(l, false)
+		wbs := h.FillFromBelow(l, false, DCP{})
+		// Consume immediately (copy) — the slice is only valid here.
+		got = append(got, wbs...)
+	}
+	found := false
+	for _, wb := range got {
+		if wb.Line == dirty {
+			found = true
+			if !wb.DCP.Present || wb.DCP.Way != 1 {
+				t.Errorf("writeback DCP = %+v, want present way 1", wb.DCP)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dirty L3 line never surfaced as a writeback")
+	}
+}

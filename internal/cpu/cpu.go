@@ -63,7 +63,8 @@ type Core struct {
 	time      int64
 	instr     int64
 	instCarry int64
-	mshr      []int64 // completion cycles of in-flight misses
+	mshr      []int64         // completion cycles of in-flight misses
+	ev        workloads.Event // reused across Steps; &ev escapes through the Stream interface, so a local would heap-allocate every event
 
 	markTime  int64
 	markInstr int64
@@ -97,8 +98,8 @@ func (c *Core) Instructions() int64 { return c.instr }
 
 // Step consumes and executes one workload event.
 func (c *Core) Step() {
-	var ev workloads.Event
-	c.stream.Next(&ev)
+	ev := &c.ev
+	c.stream.Next(ev)
 
 	// Non-memory instructions retire at the issue width; the remainder
 	// carries so long-run throughput is exact.

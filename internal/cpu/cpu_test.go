@@ -275,3 +275,15 @@ func TestMoreMSHRsNeverHurt(t *testing.T) {
 		t.Errorf("16 MSHRs slower than 2: %.4f vs %.4f", run(16), run(2))
 	}
 }
+
+func TestStepDoesNotAllocate(t *testing.T) {
+	// The event buffer is reused across Steps; a regression to a local
+	// escaping through the Stream interface would cost one heap
+	// allocation per simulated event.
+	wl := workloads.MustGet("libquantum", 4)
+	st := workloads.NewStream(wl.Specs[0], 1<<12, 4, 1)
+	c := New(0, DefaultParams(), st, ident, &fakeMem{lat: 10})
+	if allocs := testing.AllocsPerRun(2000, c.Step); allocs > 0 {
+		t.Errorf("Step allocates %.1f objects per event, want 0", allocs)
+	}
+}

@@ -8,8 +8,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
+	"accord/internal/dram"
+	"accord/internal/dramcache"
 	"accord/internal/sim"
 	"accord/internal/stats"
 	"accord/internal/workloads"
@@ -23,8 +28,25 @@ type Params struct {
 	MeasureInstr int64
 	Seed         int64
 
+	// Parallelism bounds how many simulations the session runs
+	// concurrently when experiments are executed through RunExperiment
+	// or Prefetch. Zero selects GOMAXPROCS; 1 forces sequential runs.
+	// Table output is byte-identical at every setting: each simulation
+	// is deterministic given (config, workload, seed), and tables are
+	// always assembled on the calling goroutine from memoized results.
+	Parallelism int
+
 	// Progress, when non-nil, receives one line per completed simulation.
+	// Writes are serialized by the session, so any io.Writer is safe.
 	Progress io.Writer
+}
+
+// parallelism returns the effective worker count.
+func (p Params) parallelism() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultParams returns the full-quality setting used to produce
@@ -39,11 +61,93 @@ func QuickParams() Params {
 	return Params{Scale: 1024, Cores: 8, WarmupInstr: 400_000, MeasureInstr: 400_000, Seed: 1}
 }
 
+// key identifies one design point: the workload plus every
+// result-affecting field of the applied sim.Config. sim.Config.Policy is
+// a function and cannot be compared; the configuration catalog keys
+// policy identity through Name, which is part of the key.
+type key struct {
+	Config   string
+	Workload string
+
+	Cores      int
+	IssueWidth int
+	MSHRs      int
+	CPUGHz     float64
+	SRAMLat    int64
+
+	Scale          int64
+	L4CapacityFull int64
+	Ways           int
+	Lookup         dramcache.Lookup
+	LRUReplacement bool
+	UseCA          bool
+	FullHierarchy  bool
+
+	NVMCapacityFull     int64
+	WorkloadAnchorLines uint64
+
+	HBM dram.Config
+	PCM dram.Config
+
+	WarmupInstr            int64
+	MeasureInstr           int64
+	DisableAdaptiveBudgets bool
+
+	Seed int64
+}
+
+// makeKey builds the memo key for an already-applied configuration.
+func makeKey(cfg sim.Config, workload string) key {
+	return key{
+		Config:                 cfg.Name,
+		Workload:               workload,
+		Cores:                  cfg.Cores,
+		IssueWidth:             cfg.IssueWidth,
+		MSHRs:                  cfg.MSHRs,
+		CPUGHz:                 cfg.CPUGHz,
+		SRAMLat:                cfg.SRAMLat,
+		Scale:                  cfg.Scale,
+		L4CapacityFull:         cfg.L4CapacityFull,
+		Ways:                   cfg.Ways,
+		Lookup:                 cfg.Lookup,
+		LRUReplacement:         cfg.LRUReplacement,
+		UseCA:                  cfg.UseCA,
+		FullHierarchy:          cfg.FullHierarchy,
+		NVMCapacityFull:        cfg.NVMCapacityFull,
+		WorkloadAnchorLines:    cfg.WorkloadAnchorLines,
+		HBM:                    cfg.HBM,
+		PCM:                    cfg.PCM,
+		WarmupInstr:            cfg.WarmupInstr,
+		MeasureInstr:           cfg.MeasureInstr,
+		DisableAdaptiveBudgets: cfg.DisableAdaptiveBudgets,
+		Seed:                   cfg.Seed,
+	}
+}
+
+// entry is one memoized (or in-flight) simulation. The goroutine that
+// inserts the entry runs the simulation and closes done; every other
+// caller of the same design point blocks on done instead of duplicating
+// the run.
+type entry struct {
+	done chan struct{}
+	res  sim.Result
+}
+
 // Session memoizes simulation results so experiments sharing design points
 // (every figure reuses the direct-mapped baseline) pay for each run once.
+// It is safe for concurrent use: simultaneous Run calls on the same design
+// point coalesce onto a single simulation.
 type Session struct {
-	p     Params
-	cache map[string]sim.Result
+	p Params
+
+	mu   sync.Mutex
+	memo map[key]*entry
+
+	progressMu sync.Mutex
+
+	// planning, when non-nil, turns Run into a recorder: design points
+	// are collected and zero results returned without simulating.
+	planning *planRecorder
 }
 
 // NewSession creates a session for the given parameters.
@@ -54,7 +158,7 @@ func NewSession(p Params) *Session {
 	if p.Scale <= 0 {
 		p.Scale = 256
 	}
-	return &Session{p: p, cache: make(map[string]sim.Result)}
+	return &Session{p: p, memo: make(map[key]*entry)}
 }
 
 // Params returns the session parameters.
@@ -70,20 +174,54 @@ func (s *Session) apply(cfg sim.Config) sim.Config {
 	return cfg
 }
 
-// Run simulates cfg on the named workload, memoized.
+// Run simulates cfg on the named workload, memoized. Concurrent callers
+// of the same design point share one simulation.
 func (s *Session) Run(cfg sim.Config, workload string) sim.Result {
+	return s.run(0, cfg, workload)
+}
+
+// run is Run with a worker ID for progress reporting (0 = the caller's
+// own goroutine, 1..N = pool workers).
+func (s *Session) run(worker int, cfg sim.Config, workload string) sim.Result {
 	cfg = s.apply(cfg)
-	key := fmt.Sprintf("%s|%s|%d|%d|%d|%d", cfg.Name, workload, cfg.Scale, cfg.Cores, cfg.MeasureInstr, cfg.Seed)
-	if r, ok := s.cache[key]; ok {
-		return r
+	k := makeKey(cfg, workload)
+	if s.planning != nil {
+		s.planning.record(k, cfg, workload)
+		return sim.Result{Config: cfg.Name, Workload: workload}
 	}
+	s.mu.Lock()
+	if e, ok := s.memo[k]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.res
+	}
+	e := &entry{done: make(chan struct{})}
+	s.memo[k] = e
+	s.mu.Unlock()
+	defer close(e.done)
+	start := time.Now()
 	wl := workloads.MustGet(workload, cfg.Cores)
-	r := sim.New(cfg, wl).Run(workload)
-	s.cache[key] = r
-	if s.p.Progress != nil {
-		fmt.Fprintf(s.p.Progress, "  ran %-22s %-12s hit=%.3f ipc=%.4f\n", cfg.Name, workload, r.HitRate(), r.MeanIPC())
+	e.res = sim.New(cfg, wl).Run(workload)
+	s.progress(worker, cfg.Name, workload, e.res, time.Since(start))
+	return e.res
+}
+
+// progress emits one serialized line per completed simulation.
+func (s *Session) progress(worker int, cfg, workload string, r sim.Result, took time.Duration) {
+	if s.p.Progress == nil {
+		return
 	}
-	return r
+	s.progressMu.Lock()
+	defer s.progressMu.Unlock()
+	fmt.Fprintf(s.p.Progress, "  [w%02d] ran %-22s %-12s hit=%.3f ipc=%.4f (%.2fs)\n",
+		worker, cfg, workload, r.HitRate(), r.MeanIPC(), took.Seconds())
+}
+
+// memoSize returns the number of memoized design points (for tests).
+func (s *Session) memoSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.memo)
 }
 
 // Baseline returns the direct-mapped baseline result for a workload.

@@ -49,9 +49,9 @@ func TestExperimentMetadata(t *testing.T) {
 func TestSessionMemoization(t *testing.T) {
 	s := NewSession(tinyParams())
 	r1 := s.Run(sim.DirectMapped(), "nekbone")
-	before := len(s.cache)
+	before := s.memoSize()
 	r2 := s.Run(sim.DirectMapped(), "nekbone")
-	if len(s.cache) != before {
+	if s.memoSize() != before {
 		t.Error("second identical run was not memoized")
 	}
 	if r1.MeanIPC() != r2.MeanIPC() {

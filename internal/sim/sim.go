@@ -191,7 +191,10 @@ func WeightedSpeedup(target, baseline Result) float64 {
 	return sum / float64(n)
 }
 
-// System is one assembled simulation instance.
+// System is one assembled simulation instance. A System is not safe for
+// concurrent use, but distinct Systems share no mutable state (workload
+// presets are read-only), so independent simulations may run on separate
+// goroutines — internal/exp's session scheduler relies on this.
 type System struct {
 	cfg   Config
 	specs []workloads.Spec
@@ -200,6 +203,12 @@ type System struct {
 	hbm   *dram.Device
 	pcm   *dram.Device
 	l3    *cache.Cache // non-nil in full-hierarchy mode
+
+	// advanceUntil bookkeeping, reused across the warmup and measure
+	// phases to keep the run loop allocation-free.
+	finish []finishPoint
+	done   []bool
+	caps   []int64
 }
 
 // memAdapter bridges the core's MemorySystem to the DRAM cache in the
@@ -421,9 +430,15 @@ type finishPoint struct {
 // realistic while slower cores are still being measured.
 func (s *System) advanceUntil(targets []int64) []finishPoint {
 	n := len(s.cores)
-	finish := make([]finishPoint, n)
-	done := make([]bool, n)
-	caps := make([]int64, n)
+	if s.finish == nil {
+		s.finish = make([]finishPoint, n)
+		s.done = make([]bool, n)
+		s.caps = make([]int64, n)
+	}
+	finish, done, caps := s.finish, s.done, s.caps
+	for i := range finish {
+		finish[i], done[i], caps[i] = finishPoint{}, false, 0
+	}
 	remaining := 0
 	for i, c := range s.cores {
 		// A finished core may keep generating load for up to 4 extra
