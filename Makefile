@@ -14,12 +14,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiment scheduler is the main concurrency surface; exercise it
-# under the race detector (short mode keeps the full-experiment
-# determinism test out of the hot loop — `go test -race ./internal/exp`
-# without -short runs it too).
+# The experiment scheduler and the metrics registry are the main
+# concurrency surfaces; exercise them under the race detector (short
+# mode keeps the full-experiment determinism test out of the hot loop —
+# `go test -race ./internal/exp` without -short runs it too).
 race:
-	$(GO) test -race -short ./internal/exp ./internal/sim
+	$(GO) test -race -short ./internal/exp ./internal/sim ./internal/metrics
 
 vet:
 	$(GO) vet ./...

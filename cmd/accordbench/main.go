@@ -22,7 +22,22 @@ import (
 	"time"
 
 	"accord/internal/exp"
+	"accord/internal/metrics"
 )
+
+// manifestConfig records the effective benchmark parameters for the run
+// manifest (Progress is an io.Writer and does not serialize).
+func manifestConfig(p exp.Params, experiment string) map[string]interface{} {
+	return map[string]interface{}{
+		"experiment":    experiment,
+		"scale":         p.Scale,
+		"cores":         p.Cores,
+		"warmup_instr":  p.WarmupInstr,
+		"measure_instr": p.MeasureInstr,
+		"epoch_instr":   p.EpochInstr,
+		"parallelism":   p.Parallelism,
+	}
+}
 
 func main() {
 	var (
@@ -34,6 +49,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
 		markdown   = flag.Bool("md", false, "render tables as GitHub-flavored markdown")
 		verbose    = flag.Bool("v", false, "log each simulation as it completes")
+		metricsOut = flag.String("metrics-out", "", "write structured metrics for every simulation to this file (.csv for CSV + manifest sidecar, otherwise JSON)")
+		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshots only)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -76,6 +93,13 @@ func main() {
 	if *verbose {
 		p.Progress = os.Stderr
 	}
+	switch {
+	case *epoch >= 0:
+		p.EpochInstr = *epoch
+	case *metricsOut != "":
+		// Auto: ~8 epochs across the nominal measured window.
+		p.EpochInstr = p.MeasureInstr * int64(p.Cores) / 8
+	}
 
 	var todo []exp.Experiment
 	if *experiment == "" {
@@ -96,6 +120,10 @@ func main() {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	session := exp.NewSession(p)
+	var man *metrics.Manifest
+	if *metricsOut != "" {
+		man = metrics.NewManifest("accordbench", manifestConfig(p, *experiment), p.Seed)
+	}
 	total := time.Now()
 	// Worker count and timings go to stderr so stdout stays byte-identical
 	// across -parallel settings (diffable against a sequential run).
@@ -115,6 +143,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "accordbench: %s in %.1fs\n", e.ID, time.Since(start).Seconds())
 	}
 	fmt.Fprintf(os.Stderr, "accordbench: total %.1fs with %d workers\n", time.Since(total).Seconds(), workers)
+
+	if *metricsOut != "" {
+		ex := session.ExportMetrics(man.Finish())
+		if err := ex.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "accordbench: wrote metrics for %d runs to %s\n", len(ex.Runs), *metricsOut)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

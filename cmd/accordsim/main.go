@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"accord/internal/energy"
+	"accord/internal/metrics"
 	"accord/internal/sim"
 	"accord/internal/stats"
 	"accord/internal/workloads"
@@ -34,9 +35,11 @@ func main() {
 		measure  = flag.Int64("measure", 4_000_000, "measured instructions per core")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		baseline = flag.Bool("baseline", false, "also run the direct-mapped baseline and report speedup")
-		trace    = flag.String("trace", "", "replay a trace file (see cmd/tracegen) instead of a named workload")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of a table")
-		list     = flag.Bool("list", false, "list workloads and exit")
+		trace      = flag.String("trace", "", "replay a trace file (see cmd/tracegen) instead of a named workload")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of a table")
+		metricsOut = flag.String("metrics-out", "", "write structured metrics to this file (.csv for CSV + manifest sidecar, otherwise JSON)")
+		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshot only)")
+		list       = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
 
@@ -61,6 +64,7 @@ func main() {
 	cfg.WarmupInstr = *warmup
 	cfg.MeasureInstr = *measure
 	cfg.Seed = *seed
+	cfg.EpochInstr = epochInstr(*epoch, *metricsOut != "", cfg)
 
 	var wl workloads.Workload
 	var err2 error
@@ -74,7 +78,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	man := metrics.NewManifest("accordsim", flagConfig(), cfg.Seed)
 	res := sim.New(cfg, wl).Run(wl.Name)
+	if *metricsOut != "" {
+		ex := &metrics.Export{
+			Manifest: man.Finish(),
+			Runs: []metrics.Run{{
+				Config:       res.Config,
+				Workload:     res.Workload,
+				Instructions: res.Instructions,
+				Cycles:       res.Cycles,
+				MeanIPC:      res.MeanIPC(),
+				HitRate:      res.HitRate(),
+				Metrics:      res.Metrics,
+			}},
+		}
+		if err := ex.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -105,6 +128,32 @@ func main() {
 	}
 }
 
+// epochInstr resolves the -epoch flag: an explicit non-negative value
+// wins (0 disables sampling); auto mode samples ~8 epochs across the
+// nominal measured window whenever metrics are being exported.
+func epochInstr(flagVal int64, exporting bool, cfg sim.Config) int64 {
+	if flagVal >= 0 {
+		return flagVal
+	}
+	if !exporting {
+		return 0
+	}
+	e := cfg.MeasureInstr * int64(cfg.Cores) / 8
+	if e <= 0 {
+		e = 1
+	}
+	return e
+}
+
+// flagConfig snapshots the effective flag values for the run manifest.
+func flagConfig() map[string]string {
+	out := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) {
+		out[f.Name] = f.Value.String()
+	})
+	return out
+}
+
 // loadTrace reads a tracegen-format file and replays it on every core.
 func loadTrace(path string, cores int) (workloads.Workload, error) {
 	f, err := os.Open(path)
@@ -119,23 +168,48 @@ func loadTrace(path string, cores int) (workloads.Workload, error) {
 	return workloads.TraceWorkload(path, st.Events, cores)
 }
 
+// printResult renders the run summary from the metrics registry snapshot
+// — the same values -metrics-out exports — so the table and the
+// machine-readable artifact cannot diverge. Undefined gauges fall back
+// to the legacy 0 rendering (the stats package's Pct/Ratio convention),
+// keeping output byte-identical to earlier releases.
 func printResult(cfg sim.Config, res sim.Result) {
 	fmt.Printf("config:   %s  (scale 1/%d, %.1f MB model cache)\n",
 		res.Config, cfg.Scale, float64(cfg.L4Capacity())/(1<<20))
 	fmt.Printf("workload: %s\n\n", res.Workload)
 
+	snap := res.Metrics.Final
 	t := stats.NewTable("", "metric", "value")
-	t.AddRowf("L4 reads", res.L4.Reads)
-	t.AddRowf("L4 hit rate", fmt.Sprintf("%.2f%%", 100*res.HitRate()))
-	t.AddRowf("way-pred accuracy", fmt.Sprintf("%.2f%%", 100*res.Accuracy()))
-	t.AddRowf("probes per read", fmt.Sprintf("%.3f", res.L4.ProbesPerRead()))
-	t.AddRowf("avg hit latency (cyc)", fmt.Sprintf("%.1f", res.L4.HitLatency.Mean()))
-	t.AddRowf("avg miss latency (cyc)", fmt.Sprintf("%.1f", res.L4.MissLatency.Mean()))
-	t.AddRowf("L4 writebacks", res.L4.Writebacks)
-	t.AddRowf("NVM reads / writes", fmt.Sprintf("%d / %d", res.L4.NVMReads, res.L4.NVMWrites))
-	t.AddRowf("mean IPC", fmt.Sprintf("%.4f", res.MeanIPC()))
+	t.AddRowf("L4 reads", snap.Counter("l4.reads"))
+	t.AddRowf("L4 hit rate", fmt.Sprintf("%.2f%%", gaugeOr(snap, "l4.hit_rate_pct", 0)))
+	t.AddRowf("way-pred accuracy", fmt.Sprintf("%.2f%%", gaugeOr(snap, "l4.prediction_accuracy_pct", 0)))
+	t.AddRowf("probes per read", fmt.Sprintf("%.3f", gaugeOr(snap, "l4.probes_per_read", 0)))
+	t.AddRowf("avg hit latency (cyc)", fmt.Sprintf("%.1f", histMean(snap, "l4.hit_latency")))
+	t.AddRowf("avg miss latency (cyc)", fmt.Sprintf("%.1f", histMean(snap, "l4.miss_latency")))
+	t.AddRowf("L4 writebacks", snap.Counter("l4.writebacks"))
+	t.AddRowf("NVM reads / writes", fmt.Sprintf("%d / %d",
+		snap.Counter("l4.nvm_reads"), snap.Counter("l4.nvm_writes")))
+	t.AddRowf("mean IPC", fmt.Sprintf("%.4f", gaugeOr(snap, "cpu.mean_ipc", res.MeanIPC())))
 	fmt.Print(t.Render())
 
 	b := energy.Compute(cfg.HBM, res.HBM, cfg.PCM, res.PCM, res.Cycles, cfg.CPUGHz)
 	fmt.Printf("\nenergy: %.4f J total (%.2f W avg, EDP %.5f J·s)\n", b.Total(), b.Power(), b.EDP())
+}
+
+// gaugeOr reads a gauge, substituting fallback when it is undefined.
+func gaugeOr(s metrics.Snapshot, name string, fallback float64) float64 {
+	if v, ok := s.Gauge(name); ok {
+		return v
+	}
+	return fallback
+}
+
+// histMean returns a histogram's mean, 0 when it holds no samples
+// (matching dramcache.LatencySum.Mean).
+func histMean(s metrics.Snapshot, name string) float64 {
+	v, ok := s.Get(name)
+	if !ok || v.Count == 0 {
+		return 0
+	}
+	return v.Sum / float64(v.Count)
 }

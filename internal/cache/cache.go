@@ -6,8 +6,10 @@ package cache
 
 import (
 	"fmt"
+	"math"
 
 	"accord/internal/memtypes"
+	"accord/internal/metrics"
 )
 
 // Config describes one SRAM cache level.
@@ -103,6 +105,23 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes statistics, keeping contents (for warmup).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// RegisterMetrics publishes the cache's statistics into r under prefix
+// (e.g. "l3") as views over the live counters.
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	s := &c.stats
+	r.CounterFunc(prefix+".hits", "accesses that hit", func() uint64 { return s.Hits })
+	r.CounterFunc(prefix+".misses", "accesses that missed", func() uint64 { return s.Misses })
+	r.CounterFunc(prefix+".writebacks", "dirty victims evicted", func() uint64 { return s.Writebacks })
+	r.CounterFunc(prefix+".fills", "lines installed from below", func() uint64 { return s.Fills })
+	r.GaugeFunc(prefix+".hit_rate_pct", "hit rate, percent (absent before any access)", func() float64 {
+		total := s.Hits + s.Misses
+		if total == 0 {
+			return math.NaN()
+		}
+		return 100 * float64(s.Hits) / float64(total)
+	})
+}
 
 func (c *Cache) index(l memtypes.LineAddr) (set uint64, tag uint64) {
 	set = uint64(l) & (c.numSets - 1)

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
 	"accord/internal/memtypes"
+	"accord/internal/metrics"
 )
 
 // ACCORDConfig selects which of the paper's way-steering mechanisms an
@@ -314,4 +316,25 @@ func (a *ACCORD) FilterMiss(set, tag uint64) bool { return false }
 // TableStats reports RIT/RLT hit counters for diagnostics.
 func (a *ACCORD) TableStats() (ritHits, ritMisses, rltHits, rltMisses uint64) {
 	return a.ritHits, a.ritMisses, a.rltHits, a.rltMisses
+}
+
+// RegisterMetrics publishes the policy's ganged-way-steering table
+// behavior into r under prefix (e.g. "policy"): the RIT decides where
+// installs gang, the RLT predicts the way of spatially nearby lines, and
+// their hit rates are exactly what Figure 7's GWS argument depends on.
+func (a *ACCORD) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.CounterFunc(prefix+".rit_hits", "install steers that found their region in the RIT", func() uint64 { return a.ritHits })
+	r.CounterFunc(prefix+".rit_misses", "install steers whose region was absent from the RIT", func() uint64 { return a.ritMisses })
+	r.CounterFunc(prefix+".rlt_hits", "way predictions that found their region in the RLT", func() uint64 { return a.rltHits })
+	r.CounterFunc(prefix+".rlt_misses", "way predictions whose region was absent from the RLT", func() uint64 { return a.rltMisses })
+	r.GaugeFunc(prefix+".rlt_hit_rate_pct", "RLT hit rate, percent (absent before any prediction)", func() float64 {
+		total := a.rltHits + a.rltMisses
+		if total == 0 {
+			return math.NaN()
+		}
+		return 100 * float64(a.rltHits) / float64(total)
+	})
+	r.GaugeFunc(prefix+".storage_bytes", "SRAM metadata cost of the policy", func() float64 {
+		return float64(a.StorageBytes())
+	})
 }

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"accord/internal/memtypes"
+	"accord/internal/metrics"
 )
 
 // Config describes one memory device.
@@ -303,6 +304,40 @@ func (d *Device) Stats() Stats { return d.stats }
 // ResetStats zeroes the statistics without disturbing bank/bus state; used
 // after warmup.
 func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// RegisterMetrics publishes the device's statistics into r under prefix
+// (e.g. "hbm", "pcm") as views over the live counters; the access path
+// itself stays allocation- and indirection-free.
+func (d *Device) RegisterMetrics(r *metrics.Registry, prefix string) {
+	s := &d.stats
+	c := func(name, help string, fn func() uint64) { r.CounterFunc(prefix+"."+name, help, fn) }
+	c("activates", "row activations", func() uint64 { return s.Activates })
+	c("reads", "column read operations", func() uint64 { return s.Reads })
+	c("writes", "column write operations", func() uint64 { return s.Writes })
+	c("bytes_read", "payload bytes read", func() uint64 { return s.BytesRead })
+	c("bytes_written", "payload bytes written", func() uint64 { return s.BytesWritten })
+	c("row_hits", "reads that hit the open row buffer", func() uint64 { return s.RowHits })
+	c("row_misses", "reads that required an activation", func() uint64 { return s.RowMisses })
+	c("bus_busy_cycles", "data-bus busy cycles, summed over channels", func() uint64 { return uint64(s.BusBusy) })
+	c("bank_wait_cycles", "cycles reads waited for a busy bank", func() uint64 { return uint64(s.BankWait) })
+	c("bus_wait_cycles", "cycles reads waited for the data bus", func() uint64 { return uint64(s.BusWait) })
+
+	r.GaugeFunc(prefix+".row_hit_rate_pct", "row-buffer hit rate of reads, percent (absent before any read)",
+		func() float64 {
+			total := s.RowHits + s.RowMisses
+			if total == 0 {
+				return math.NaN()
+			}
+			return 100 * float64(s.RowHits) / float64(total)
+		})
+	r.GaugeFunc(prefix+".mean_read_latency_cycles", "mean device-level read latency (absent before any read)",
+		func() float64 {
+			if s.Reads == 0 {
+				return math.NaN()
+			}
+			return float64(s.ReadLatency) / float64(s.Reads)
+		})
+}
 
 // transferCycles returns the bus occupancy for a payload of n bytes. With
 // an ECC sidecar, each beat moves BeatBytes+ECCSidecarBytes, so

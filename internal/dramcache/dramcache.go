@@ -13,10 +13,12 @@ package dramcache
 
 import (
 	"fmt"
+	"math"
 
 	"accord/internal/core"
 	"accord/internal/dram"
 	"accord/internal/memtypes"
+	"accord/internal/metrics"
 )
 
 // Lookup selects how the cache locates a line among its ways
@@ -195,6 +197,67 @@ func (s *Stats) ProbesPerRead() float64 {
 		return 0
 	}
 	return float64(s.ProbeReads) / float64(s.Reads)
+}
+
+// latencyBounds are the exported bucket upper bounds of LatencySum's
+// power-of-two histogram: bucket i covers [2^i, 2^(i+1)), so its upper
+// bound is 2^(i+1); the final bucket is overflow.
+var latencyBounds = metrics.PowerOfTwoBounds(len(LatencySum{}.Buckets) - 1)
+
+// histValue exports the latency population in the registry's histogram
+// form.
+func (l *LatencySum) histValue() metrics.HistogramValue {
+	return metrics.HistogramValue{
+		Count:   l.Count,
+		Sum:     float64(l.Sum),
+		Buckets: append([]uint64(nil), l.Buckets[:]...),
+	}
+}
+
+// Register publishes every cache statistic into r under prefix (e.g.
+// "l4"). The registrations are views: the simulation hot path keeps
+// bumping the plain struct fields, and the registry reads them at
+// snapshot time, so the plain-text tables (rendered from the same
+// fields) and the JSON/CSV export can never disagree.
+func (s *Stats) Register(r *metrics.Registry, prefix string) {
+	c := func(name, help string, fn func() uint64) { r.CounterFunc(prefix+"."+name, help, fn) }
+	c("reads", "demand reads reaching the DRAM cache", func() uint64 { return s.Reads })
+	c("read_hits", "demand reads that hit", func() uint64 { return s.ReadHits })
+	c("writebacks", "dirty L3 evictions received", func() uint64 { return s.Writebacks })
+	c("writeback_hits", "writebacks that found the line resident", func() uint64 { return s.WritebackHits })
+	c("predictions", "way predictions made on demand-read hits", func() uint64 { return s.Predictions })
+	c("predictions_correct", "way predictions whose first probe hit", func() uint64 { return s.Correct })
+	c("probe_reads", "72 B tag+data probe reads (lookup + miss confirmation)", func() uint64 { return s.ProbeReads })
+	c("install_writes", "72 B line-install writes", func() uint64 { return s.InstallWrites })
+	c("writeback_writes", "72 B resident-line writeback updates", func() uint64 { return s.WritebackWrites })
+	c("victim_reads", "72 B reads needed only to evict an unprobed victim", func() uint64 { return s.VictimReads })
+	c("repl_state_ops", "LRU replacement-state update writes", func() uint64 { return s.ReplStateOps })
+	c("nvm_reads", "64 B line fills from main memory", func() uint64 { return s.NVMReads })
+	c("nvm_writes", "64 B dirty-victim writes to main memory", func() uint64 { return s.NVMWrites })
+	c("filtered_misses", "misses confirmed with zero probes via policy metadata", func() uint64 { return s.FilteredMisses })
+
+	r.GaugeFunc(prefix+".hit_rate_pct", "demand-read hit rate, percent (absent before any read)",
+		func() float64 { return pctOrNaN(s.ReadHits, s.Reads) })
+	r.GaugeFunc(prefix+".prediction_accuracy_pct", "way-prediction accuracy, percent (absent before any predicted hit)",
+		func() float64 { return pctOrNaN(s.Correct, s.Predictions) })
+	r.GaugeFunc(prefix+".probes_per_read", "average probe reads per demand read (absent before any read)",
+		func() float64 { return ratioOrNaN(s.ProbeReads, s.Reads) })
+
+	r.HistogramFunc(prefix+".hit_latency", "demand-hit latency, cycles (power-of-two buckets)",
+		latencyBounds, func() metrics.HistogramValue { return s.HitLatency.histValue() })
+	r.HistogramFunc(prefix+".miss_latency", "demand-miss latency, cycles (power-of-two buckets)",
+		latencyBounds, func() metrics.HistogramValue { return s.MissLatency.histValue() })
+}
+
+// pctOrNaN and ratioOrNaN keep the gauge views' "undefined" semantics in
+// one place: a zero denominator exports as an absent value, never as 0.
+func pctOrNaN(num, den uint64) float64 { return 100 * ratioOrNaN(num, den) }
+
+func ratioOrNaN(num, den uint64) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return float64(num) / float64(den)
 }
 
 // Interface is what the rest of the system needs from an L4; *Cache and

@@ -39,6 +39,12 @@ type Params struct {
 	// Progress, when non-nil, receives one line per completed simulation.
 	// Writes are serialized by the session, so any io.Writer is safe.
 	Progress io.Writer
+
+	// EpochInstr, when positive, enables per-epoch metrics sampling in
+	// every simulation the session runs (see sim.Config.EpochInstr); the
+	// series travel with the results into ExportMetrics. Sampling is
+	// passive, so tables are unaffected at any setting.
+	EpochInstr int64
 }
 
 // parallelism returns the effective worker count.
@@ -92,6 +98,7 @@ type key struct {
 	WarmupInstr            int64
 	MeasureInstr           int64
 	DisableAdaptiveBudgets bool
+	EpochInstr             int64
 
 	Seed int64
 }
@@ -120,6 +127,7 @@ func makeKey(cfg sim.Config, workload string) key {
 		WarmupInstr:            cfg.WarmupInstr,
 		MeasureInstr:           cfg.MeasureInstr,
 		DisableAdaptiveBudgets: cfg.DisableAdaptiveBudgets,
+		EpochInstr:             cfg.EpochInstr,
 		Seed:                   cfg.Seed,
 	}
 }
@@ -171,6 +179,7 @@ func (s *Session) apply(cfg sim.Config) sim.Config {
 	cfg.WarmupInstr = s.p.WarmupInstr
 	cfg.MeasureInstr = s.p.MeasureInstr
 	cfg.Seed = s.p.Seed
+	cfg.EpochInstr = s.p.EpochInstr
 	return cfg
 }
 

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"accord/internal/sim"
+)
+
+// update regenerates the golden metrics snapshots:
+//
+//	go test ./internal/exp -run TestGoldenMetrics -update
+var update = flag.Bool("update", false, "rewrite testdata/golden snapshots")
+
+// goldenParams is deliberately tiny and fully pinned: every field that
+// affects results is explicit, so the snapshots are stable across
+// machines and parallelism settings.
+func goldenParams() Params {
+	return Params{
+		Scale:        8192,
+		Cores:        4,
+		WarmupInstr:  50_000,
+		MeasureInstr: 50_000,
+		Seed:         1,
+		EpochInstr:   20_000,
+		Parallelism:  1,
+	}
+}
+
+// goldenCases covers the three architectures the paper contrasts: the
+// direct-mapped baseline, ACCORD with 2-way PWS/GWS, and the CA-cache.
+func goldenCases() []sim.Config {
+	return []sim.Config{sim.DirectMapped(), sim.ACCORD(2), sim.CACache()}
+}
+
+const goldenWorkload = "libquantum"
+
+// goldenExport runs one config and serializes its export without a
+// manifest (manifests carry wall-clock and git state, which must not be
+// part of a regression snapshot).
+func goldenExport(t *testing.T, cfg sim.Config) []byte {
+	t.Helper()
+	s := NewSession(goldenParams())
+	s.Run(cfg, goldenWorkload)
+	var buf bytes.Buffer
+	if err := s.ExportMetrics(nil).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenMetrics locks the exported metrics of three small
+// deterministic runs against committed snapshots. Any change to
+// simulation behavior, metric naming, or export encoding shows up as a
+// field-level diff here; intentional changes are blessed with -update.
+func TestGoldenMetrics(t *testing.T) {
+	for _, cfg := range goldenCases() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join("testdata", "golden", cfg.Name+".json")
+			got := goldenExport(t, cfg)
+
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+			}
+			diffs := diffJSON(t, want, got)
+			for _, d := range diffs {
+				t.Error(d)
+			}
+			if len(diffs) > 0 {
+				t.Fatalf("%d field(s) diverged from %s; rerun with -update if intentional", len(diffs), path)
+			}
+		})
+	}
+}
+
+// diffJSON parses both documents and reports every leaf-level
+// difference with its JSON path, which makes regressions readable
+// ("runs[0].metrics.final.values[3].count: 812 != 815") instead of a
+// kilobyte text diff.
+func diffJSON(t *testing.T, want, got []byte) []string {
+	t.Helper()
+	var w, g interface{}
+	if err := json.Unmarshal(want, &w); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	if err := json.Unmarshal(got, &g); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var diffs []string
+	walkDiff("$", w, g, &diffs)
+	return diffs
+}
+
+// walkDiff appends one message per differing leaf under path.
+func walkDiff(path string, want, got interface{}, diffs *[]string) {
+	// Cap the report; past a handful of diffs the rest is noise.
+	if len(*diffs) > 20 {
+		return
+	}
+	switch w := want.(type) {
+	case map[string]interface{}:
+		g, ok := got.(map[string]interface{})
+		if !ok {
+			*diffs = append(*diffs, fmt.Sprintf("%s: want object, got %T", path, got))
+			return
+		}
+		keys := make([]string, 0, len(w))
+		for k := range w {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			gv, ok := g[k]
+			if !ok {
+				*diffs = append(*diffs, fmt.Sprintf("%s.%s: missing in export", path, k))
+				continue
+			}
+			walkDiff(path+"."+k, w[k], gv, diffs)
+		}
+		for k := range g {
+			if _, ok := w[k]; !ok {
+				*diffs = append(*diffs, fmt.Sprintf("%s.%s: unexpected new field", path, k))
+			}
+		}
+	case []interface{}:
+		g, ok := got.([]interface{})
+		if !ok {
+			*diffs = append(*diffs, fmt.Sprintf("%s: want array, got %T", path, got))
+			return
+		}
+		if len(w) != len(g) {
+			*diffs = append(*diffs, fmt.Sprintf("%s: length %d != %d", path, len(w), len(g)))
+			return
+		}
+		for i := range w {
+			walkDiff(fmt.Sprintf("%s[%d]", path, i), w[i], g[i], diffs)
+		}
+	default:
+		if !leafEqual(want, got) {
+			*diffs = append(*diffs, fmt.Sprintf("%s: %v != %v", path, want, got))
+		}
+	}
+}
+
+// leafEqual compares scalars as decoded by encoding/json (float64,
+// string, bool, nil).
+func leafEqual(a, b interface{}) bool {
+	return a == b
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"sort"
+
+	"accord/internal/metrics"
+	"accord/internal/sim"
+)
+
+// ExportMetrics packages every simulation the session has completed into
+// a machine-readable export: one metrics.Run per memoized design point,
+// carrying the final snapshot (and epoch series when Params.EpochInstr
+// was set) alongside the headline table statistics. The manifest, when
+// non-nil, is embedded so a single file identifies the code, config, and
+// seed that produced the numbers.
+//
+// Runs are ordered deterministically — by config name, then workload,
+// then the remaining key fields — regardless of the parallelism or
+// experiment order that produced them, so exports diff cleanly across
+// invocations. In-flight simulations are waited for; planning sessions
+// export nothing.
+func (s *Session) ExportMetrics(man *metrics.Manifest) *metrics.Export {
+	out := &metrics.Export{Manifest: man}
+	if s.planning != nil {
+		return out
+	}
+
+	type pending struct {
+		k key
+		e *entry
+	}
+	s.mu.Lock()
+	runs := make([]pending, 0, len(s.memo))
+	for k, e := range s.memo {
+		runs = append(runs, pending{k, e})
+	}
+	s.mu.Unlock()
+
+	sort.Slice(runs, func(i, j int) bool {
+		a, b := runs[i].k, runs[j].k
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return lessKeyTail(a, b)
+	})
+
+	for _, p := range runs {
+		<-p.e.done
+		out.Runs = append(out.Runs, toRun(p.e.res))
+	}
+	return out
+}
+
+// lessKeyTail orders design points that share a (config, workload) pair —
+// only possible when a sweep varies scale, budgets, or seed under one
+// catalog name.
+func lessKeyTail(a, b key) bool {
+	switch {
+	case a.Scale != b.Scale:
+		return a.Scale < b.Scale
+	case a.Cores != b.Cores:
+		return a.Cores < b.Cores
+	case a.WarmupInstr != b.WarmupInstr:
+		return a.WarmupInstr < b.WarmupInstr
+	case a.MeasureInstr != b.MeasureInstr:
+		return a.MeasureInstr < b.MeasureInstr
+	case a.EpochInstr != b.EpochInstr:
+		return a.EpochInstr < b.EpochInstr
+	default:
+		return a.Seed < b.Seed
+	}
+}
+
+// toRun flattens a simulation result into the export record.
+func toRun(res sim.Result) metrics.Run {
+	return metrics.Run{
+		Config:       res.Config,
+		Workload:     res.Workload,
+		Instructions: res.Instructions,
+		Cycles:       res.Cycles,
+		MeanIPC:      res.MeanIPC(),
+		HitRate:      res.HitRate(),
+		Metrics:      res.Metrics,
+	}
+}

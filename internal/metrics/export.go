@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RunMetrics is the observability bundle one simulation produces: the
+// final registry snapshot over the measured window, plus the per-epoch
+// time series when epoch sampling was enabled.
+type RunMetrics struct {
+	Final  Snapshot    `json:"final"`
+	Series *SeriesData `json:"series,omitempty"`
+}
+
+// Run is one simulation's entry in an export: identity, headline
+// numbers, and the full metrics bundle.
+type Run struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+
+	Instructions int64   `json:"instructions"`
+	Cycles       int64   `json:"cycles"`
+	MeanIPC      float64 `json:"mean_ipc"`
+	HitRate      float64 `json:"hit_rate"`
+
+	Metrics *RunMetrics `json:"metrics,omitempty"`
+}
+
+// Export is the top-level machine-readable artifact `-metrics-out`
+// writes: a run manifest plus every simulation's metrics, in a
+// deterministic order. METRICS.md documents the schema.
+type Export struct {
+	Manifest *Manifest `json:"manifest,omitempty"`
+	Runs     []Run     `json:"runs"`
+}
+
+// WriteJSON writes the export as indented JSON.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// csvHeader is the flat CSV schema: one row per metric per sample. The
+// `phase` column is "final" for the end-of-run snapshot and "epoch" for
+// time-series samples (with `epoch` giving the sample index). Gauge
+// values go to `value` — left empty when the gauge is undefined, which
+// keeps a missing ratio distinguishable from a real 0. Counters fill
+// `count`; histograms fill `count`, `sum`, and semicolon-joined
+// `buckets`.
+var csvHeader = []string{
+	"config", "workload", "phase", "epoch", "instructions", "cycles",
+	"metric", "kind", "value", "count", "sum", "buckets",
+}
+
+// WriteCSV writes the export in the flat CSV schema. The manifest does
+// not fit a per-metric table; callers wanting it alongside CSV write it
+// separately (see Manifest.WriteJSON).
+func (e *Export) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range e.Runs {
+		if r.Metrics == nil {
+			continue
+		}
+		if err := writeSampleRows(cw, r, "final", -1, r.Instructions, r.Cycles, r.Metrics.Final.Values); err != nil {
+			return err
+		}
+		if r.Metrics.Series != nil {
+			for _, smp := range r.Metrics.Series.Samples {
+				if err := writeSampleRows(cw, r, "epoch", smp.Epoch, smp.Instructions, smp.Cycles, smp.Values); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeSampleRows(cw *csv.Writer, r Run, phase string, epoch int, instr, cycles int64, values []Value) error {
+	epochCell := ""
+	if epoch >= 0 {
+		epochCell = strconv.Itoa(epoch)
+	}
+	for _, v := range values {
+		value := ""
+		if v.Value != nil {
+			value = strconv.FormatFloat(*v.Value, 'g', -1, 64)
+		}
+		count, sum, buckets := "", "", ""
+		if v.Kind != KindGauge.String() {
+			count = strconv.FormatUint(v.Count, 10)
+		}
+		if v.Kind == KindHistogram.String() {
+			sum = strconv.FormatFloat(v.Sum, 'g', -1, 64)
+			parts := make([]string, len(v.Buckets))
+			for i, b := range v.Buckets {
+				parts[i] = strconv.FormatUint(b, 10)
+			}
+			buckets = strings.Join(parts, ";")
+		}
+		row := []string{
+			r.Config, r.Workload, phase, epochCell,
+			strconv.FormatInt(instr, 10), strconv.FormatInt(cycles, 10),
+			v.Name, v.Kind, value, count, sum, buckets,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the export to path, choosing the encoding from the
+// extension: ".csv" gets the flat CSV schema plus a JSON manifest
+// sidecar at path+".manifest.json" (when a manifest is present);
+// anything else gets the full JSON document. This is the behavior
+// behind the CLIs' -metrics-out flag.
+func (e *Export) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		if err := e.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if e.Manifest == nil {
+			return nil
+		}
+		side, err := os.Create(path + ".manifest.json")
+		if err != nil {
+			return err
+		}
+		if err := e.Manifest.WriteJSON(side); err != nil {
+			side.Close()
+			return err
+		}
+		return side.Close()
+	}
+	if err := e.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Manifest identifies one tool invocation so exported runs are diffable:
+// what ran, with which configuration and seed, from which source state,
+// for how long.
+type Manifest struct {
+	Tool        string      `json:"tool"`
+	Config      interface{} `json:"config,omitempty"`
+	Seed        int64       `json:"seed"`
+	GitDescribe string      `json:"git_describe"`
+	GoVersion   string      `json:"go_version"`
+	StartedAt   string      `json:"started_at"`
+	WallSeconds float64     `json:"wall_seconds"`
+
+	start time.Time
+}
+
+// NewManifest starts a manifest for the given tool invocation; call
+// Finish when the run completes to record wall time.
+func NewManifest(tool string, config interface{}, seed int64) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		Tool:        tool,
+		Config:      config,
+		Seed:        seed,
+		GitDescribe: GitDescribe(),
+		GoVersion:   runtime.Version(),
+		StartedAt:   now.UTC().Format(time.RFC3339),
+		start:       now,
+	}
+}
+
+// Finish records the elapsed wall time and returns the manifest.
+func (m *Manifest) Finish() *Manifest {
+	m.WallSeconds = time.Since(m.start).Seconds()
+	return m
+}
+
+// WriteJSON writes the manifest alone as indented JSON (the sidecar for
+// CSV exports, whose tabular form cannot carry it).
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// GitDescribe returns `git describe --always --dirty` for the working
+// tree, or "unknown" when git (or a repository) is unavailable.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// PowerOfTwoBounds returns histogram upper bounds {2^1, ..., 2^n} — the
+// bucket shape the DRAM-cache latency histograms use (bucket i covers
+// latencies in [2^i, 2^(i+1))).
+func PowerOfTwoBounds(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(uint64(1) << uint(i+1))
+	}
+	return out
+}
+
+// FormatValue renders a Value for human-readable diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindGauge.String():
+		if v.Value == nil {
+			return fmt.Sprintf("%s <undefined>", v.Name)
+		}
+		return fmt.Sprintf("%s %g", v.Name, *v.Value)
+	case KindHistogram.String():
+		return fmt.Sprintf("%s count=%d sum=%g", v.Name, v.Count, v.Sum)
+	default:
+		return fmt.Sprintf("%s %d", v.Name, v.Count)
+	}
+}

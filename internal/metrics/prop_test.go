@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAddSnapshot is the registry's concurrency property test,
+// meant to run under -race: writers hammer owned metrics while a reader
+// snapshots continuously. Counters and histogram sample counts must be
+// monotone across successive snapshots, and the final totals exact.
+func TestConcurrentAddSnapshot(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 20_000
+	)
+	r := NewRegistry()
+	c := r.NewCounter("ops", "")
+	g := r.NewGauge("level", "")
+	h := r.NewHistogram("lat", "", []float64{1, 2, 4, 8, 16})
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var prevOps, prevLat uint64
+		for {
+			s := r.Snapshot()
+			ops := s.Counter("ops")
+			lat, _ := s.Get("lat")
+			if ops < prevOps {
+				t.Errorf("counter went backwards: %d -> %d", prevOps, ops)
+				return
+			}
+			if lat.Count < prevLat {
+				t.Errorf("histogram count went backwards: %d -> %d", prevLat, lat.Count)
+				return
+			}
+			// Structural invariant under concurrency: the exported count
+			// is the sum of the exported buckets, by construction.
+			var sum uint64
+			for _, b := range lat.Buckets {
+				sum += b
+			}
+			if sum != lat.Count {
+				t.Errorf("histogram count %d != bucket sum %d", lat.Count, sum)
+				return
+			}
+			prevOps, prevLat = ops, lat.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(rng.Float64() * 20)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counter("ops"); got != workers*perWorker {
+		t.Errorf("final counter = %d, want %d", got, workers*perWorker)
+	}
+	lat, _ := s.Get("lat")
+	if lat.Count != workers*perWorker {
+		t.Errorf("final histogram count = %d, want %d", lat.Count, workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("Histogram.Count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+// TestHistogramBucketInvariant drives a histogram with seeded random
+// observations and checks, quiescently, that every sample landed in
+// exactly one bucket and the sum matches.
+func TestHistogramBucketInvariant(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{0.5, 1, 5, 25, 125}
+	h := r.NewHistogram("x", "", bounds)
+	rng := rand.New(rand.NewSource(42))
+
+	const n = 50_000
+	var wantSum float64
+	for i := 0; i < n; i++ {
+		v := rng.ExpFloat64() * 10
+		wantSum += v
+		h.Observe(v)
+	}
+	v, _ := r.Snapshot().Get("x")
+	if v.Count != n {
+		t.Errorf("count = %d, want %d", v.Count, n)
+	}
+	var bucketSum uint64
+	for _, b := range v.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != n {
+		t.Errorf("bucket sum = %d, want %d (every sample in exactly one bucket)", bucketSum, n)
+	}
+	if len(v.Buckets) != len(bounds)+1 {
+		t.Errorf("bucket count = %d, want %d", len(v.Buckets), len(bounds)+1)
+	}
+	if diff := v.Sum - wantSum; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("sum = %g, want %g", v.Sum, wantSum)
+	}
+
+	// Boundary placement: a value equal to a bound lands in that bound's
+	// bucket (bounds are inclusive upper bounds).
+	r2 := NewRegistry()
+	h2 := r2.NewHistogram("b", "", []float64{1, 2})
+	h2.Observe(1)
+	h2.Observe(2)
+	h2.Observe(2.0001)
+	v2, _ := r2.Snapshot().Get("b")
+	want := []uint64{1, 1, 1}
+	for i := range want {
+		if v2.Buckets[i] != want[i] {
+			t.Errorf("boundary buckets = %v, want %v", v2.Buckets, want)
+			break
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package metrics
+
+// Epoch time-series sampling: the simulator calls Tick with its running
+// instruction and cycle counts, and the series snapshots the whole
+// registry each time another epoch's worth of instructions has retired.
+// Sampling is passive — it observes component statistics but never feeds
+// back into simulated timing — so enabling a series cannot change any
+// simulated result.
+
+// Sample is one epoch snapshot.
+type Sample struct {
+	// Epoch is the 0-based index of the sample within its series.
+	Epoch int `json:"epoch"`
+	// Instructions and Cycles are the simulator clocks at the sampling
+	// instant (measured-window instruction total and elapsed core cycles).
+	Instructions int64 `json:"instructions"`
+	Cycles       int64 `json:"cycles"`
+
+	Values []Value `json:"values"`
+}
+
+// Series accumulates epoch samples of one registry. A nil *Series is a
+// valid no-op sampler, so callers can thread an optional series without
+// branching.
+type Series struct {
+	reg     *Registry
+	every   int64
+	next    int64
+	samples []Sample
+}
+
+// NewSeries builds a sampler over reg that records a snapshot each time
+// Tick observes the instruction clock crossing another everyInstr
+// instructions. everyInstr must be positive.
+func NewSeries(reg *Registry, everyInstr int64) *Series {
+	if everyInstr <= 0 {
+		panic("metrics: series epoch must be positive")
+	}
+	return &Series{reg: reg, every: everyInstr, next: everyInstr}
+}
+
+// Tick offers the current clocks to the sampler and reports whether a
+// sample was recorded. When the instruction clock jumps several epochs
+// between ticks, one sample is recorded and the threshold advances past
+// instr — epochs are sampling opportunities, not a backfill obligation.
+func (s *Series) Tick(instr, cycles int64) bool {
+	if s == nil || instr < s.next {
+		return false
+	}
+	s.samples = append(s.samples, Sample{
+		Epoch:        len(s.samples),
+		Instructions: instr,
+		Cycles:       cycles,
+		Values:       s.reg.Snapshot().Values,
+	})
+	for s.next <= instr {
+		s.next += s.every
+	}
+	return true
+}
+
+// Len returns the number of recorded samples.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.samples)
+}
+
+// SeriesData is the exportable form of a series.
+type SeriesData struct {
+	EveryInstr int64    `json:"every_instr"`
+	Samples    []Sample `json:"samples"`
+}
+
+// Data returns the exportable form (nil receiver yields a zero value).
+func (s *Series) Data() SeriesData {
+	if s == nil {
+		return SeriesData{}
+	}
+	return SeriesData{EveryInstr: s.every, Samples: s.samples}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+
+	"accord/internal/metrics"
+	"accord/internal/workloads"
+)
+
+// tinyMetricsConfig is a fast configuration for metrics-layer tests.
+func tinyMetricsConfig() Config {
+	cfg := ACCORD(2)
+	cfg.Scale = 8192
+	cfg.Cores = 4
+	cfg.WarmupInstr = 50_000
+	cfg.MeasureInstr = 50_000
+	return cfg
+}
+
+// TestResultMetricsMatchStats is the single-source-of-truth contract:
+// the exported snapshot must agree exactly with the Result fields the
+// plain-text tables are rendered from, because both read the same
+// component counters.
+func TestResultMetricsMatchStats(t *testing.T) {
+	cfg := tinyMetricsConfig()
+	res := New(cfg, workloads.MustGet("libquantum", cfg.Cores)).Run("libquantum")
+	if res.Metrics == nil {
+		t.Fatal("Result.Metrics not populated")
+	}
+	snap := res.Metrics.Final
+
+	if got := snap.Counter("l4.reads"); got != res.L4.Reads {
+		t.Errorf("l4.reads = %d, want %d", got, res.L4.Reads)
+	}
+	if got := snap.Counter("l4.read_hits"); got != res.L4.ReadHits {
+		t.Errorf("l4.read_hits = %d, want %d", got, res.L4.ReadHits)
+	}
+	if got := snap.Counter("hbm.reads"); got != res.HBM.Reads {
+		t.Errorf("hbm.reads = %d, want %d", got, res.HBM.Reads)
+	}
+	if got := snap.Counter("pcm.reads"); got != res.PCM.Reads {
+		t.Errorf("pcm.reads = %d, want %d", got, res.PCM.Reads)
+	}
+	if hr, ok := snap.Gauge("l4.hit_rate_pct"); !ok || hr != 100*res.HitRate() {
+		t.Errorf("l4.hit_rate_pct = %v,%v, want %v", hr, ok, 100*res.HitRate())
+	}
+	if acc, ok := snap.Gauge("l4.prediction_accuracy_pct"); !ok || acc != 100*res.Accuracy() {
+		t.Errorf("l4.prediction_accuracy_pct = %v,%v, want %v", acc, ok, 100*res.Accuracy())
+	}
+	if ipc, ok := snap.Gauge("cpu.mean_ipc"); !ok || ipc != res.MeanIPC() {
+		t.Errorf("cpu.mean_ipc = %v,%v, want %v", ipc, ok, res.MeanIPC())
+	}
+	hl, ok := snap.Get("l4.hit_latency")
+	if !ok || hl.Count != res.L4.HitLatency.Count {
+		t.Errorf("l4.hit_latency count = %d, want %d", hl.Count, res.L4.HitLatency.Count)
+	}
+	if hl.Sum != float64(res.L4.HitLatency.Sum) {
+		t.Errorf("l4.hit_latency sum = %g, want %d", hl.Sum, res.L4.HitLatency.Sum)
+	}
+	// ACCORD's policy metrics are present for this config.
+	if _, ok := snap.Get("policy.rlt_hits"); !ok {
+		t.Error("policy metrics not registered for the ACCORD config")
+	}
+	// No epoch sampling requested: no series.
+	if res.Metrics.Series != nil {
+		t.Error("series present without EpochInstr")
+	}
+}
+
+// TestEpochSeries checks the time-series sampler: samples appear at the
+// configured cadence, are monotone in both clocks and in every counter,
+// and never perturb the simulation itself.
+func TestEpochSeries(t *testing.T) {
+	base := tinyMetricsConfig()
+	plain := New(base, workloads.MustGet("libquantum", base.Cores)).Run("libquantum")
+
+	cfg := tinyMetricsConfig()
+	cfg.EpochInstr = 40_000
+	res := New(cfg, workloads.MustGet("libquantum", cfg.Cores)).Run("libquantum")
+
+	if res.Metrics.Series == nil {
+		t.Fatal("EpochInstr set but no series exported")
+	}
+	sd := res.Metrics.Series
+	if sd.EveryInstr != cfg.EpochInstr {
+		t.Errorf("series epoch = %d, want %d", sd.EveryInstr, cfg.EpochInstr)
+	}
+	if len(sd.Samples) < 2 {
+		t.Fatalf("only %d samples; want >= 2", len(sd.Samples))
+	}
+	var prevInstr, prevCycles int64
+	var prevReads uint64
+	for i, smp := range sd.Samples {
+		if smp.Epoch != i {
+			t.Errorf("sample %d has epoch %d", i, smp.Epoch)
+		}
+		if smp.Instructions <= prevInstr || smp.Cycles < prevCycles {
+			t.Errorf("sample %d clocks not monotone: instr %d->%d cycles %d->%d",
+				i, prevInstr, smp.Instructions, prevCycles, smp.Cycles)
+		}
+		reads := (metrics.Snapshot{Values: smp.Values}).Counter("l4.reads")
+		if reads < prevReads {
+			t.Errorf("sample %d: l4.reads decreased %d -> %d", i, prevReads, reads)
+		}
+		prevInstr, prevCycles, prevReads = smp.Instructions, smp.Cycles, reads
+	}
+	// The final snapshot caps the series.
+	if final := res.Metrics.Final.Counter("l4.reads"); final < prevReads {
+		t.Errorf("final l4.reads %d below last sample %d", final, prevReads)
+	}
+
+	// Passivity: sampling must not change any simulated outcome.
+	if res.MeanIPC() != plain.MeanIPC() || res.L4.Reads != plain.L4.Reads ||
+		res.Cycles != plain.Cycles || res.HitRate() != plain.HitRate() {
+		t.Error("epoch sampling perturbed the simulation")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"accord/internal/dram"
 	"accord/internal/dramcache"
 	"accord/internal/memtypes"
+	"accord/internal/metrics"
 	"accord/internal/vm"
 	"accord/internal/workloads"
 )
@@ -79,6 +80,15 @@ type Config struct {
 	// given. Intended for full-scale (Scale=1) demonstrations where the
 	// adaptive window would be prohibitively long.
 	DisableAdaptiveBudgets bool
+
+	// EpochInstr, when positive, samples every registered metric each
+	// time the measured window retires another EpochInstr instructions
+	// (summed across cores), building the per-epoch time series exported
+	// through Result.Metrics. Zero records only the final snapshot.
+	// Sampling is passive — it observes component statistics but never
+	// feeds back into simulated timing — so it cannot change any result
+	// the tables report.
+	EpochInstr int64
 
 	Seed int64
 }
@@ -150,6 +160,11 @@ type Result struct {
 	Cycles int64
 	// Instructions is the total measured instruction count.
 	Instructions int64
+
+	// Metrics is the run's observability bundle: the final snapshot of
+	// every metric the system's components registered, plus the
+	// per-epoch time series when Config.EpochInstr was set.
+	Metrics *metrics.RunMetrics
 }
 
 // HitRate returns the demand-read hit rate of the run.
@@ -203,6 +218,18 @@ type System struct {
 	hbm   *dram.Device
 	pcm   *dram.Device
 	l3    *cache.Cache // non-nil in full-hierarchy mode
+
+	// reg is the system's metrics registry: every component registers
+	// its statistics into it at assembly time, and the final snapshot
+	// (plus the optional epoch series) is exported through Result.
+	reg *metrics.Registry
+	// series is non-nil only during a measured window with EpochInstr
+	// set; advanceUntil ticks it.
+	series *metrics.Series
+	// resIPC holds the per-core measured IPCs once the measurement
+	// window closes, so the cpu.mean_ipc gauge's final snapshot matches
+	// Result.MeanIPC exactly (mid-run samples use the live window IPC).
+	resIPC []float64
 
 	// advanceUntil bookkeeping, reused across the warmup and measure
 	// phases to keep the run loop allocation-free.
@@ -330,6 +357,8 @@ func New(cfg Config, wl workloads.Workload) *System {
 		}
 		s.cores = append(s.cores, cpu.New(i, params, stream, space.TranslateLine, mem))
 	}
+	s.reg = metrics.NewRegistry()
+	s.registerMetrics()
 	return s
 }
 
@@ -382,6 +411,9 @@ func (s *System) Run(wlName string) Result {
 	for _, c := range s.cores {
 		c.MarkWindow()
 	}
+	if s.cfg.EpochInstr > 0 {
+		s.series = metrics.NewSeries(s.reg, s.cfg.EpochInstr)
+	}
 
 	// Measure: each core runs a full measurement budget past its own
 	// warmup crossing (in a mix, fast cores may have run far ahead while
@@ -415,6 +447,15 @@ func (s *System) Run(wlName string) Result {
 		}
 		res.Instructions += instr
 	}
+	// Final snapshot: taken after the measured IPCs are recorded so the
+	// summary gauges agree with the Result fields to the last bit.
+	s.resIPC = res.IPC
+	rm := &metrics.RunMetrics{Final: s.reg.Snapshot()}
+	if s.series != nil {
+		data := s.series.Data()
+		rm.Series = &data
+	}
+	res.Metrics = rm
 	return res
 }
 
@@ -478,6 +519,23 @@ func (s *System) advanceUntil(targets []int64) []finishPoint {
 			finish[min] = finishPoint{cycles: c.WindowCycles(), instr: c.WindowInstructions()}
 			remaining--
 		}
+		if s.series != nil {
+			s.sampleTick()
+		}
 	}
 	return finish
+}
+
+// sampleTick offers the current window clocks to the epoch series. The
+// instruction clock is the total measured-window retirement across cores;
+// the cycle clock is the longest per-core window so far.
+func (s *System) sampleTick() {
+	var instr, cycles int64
+	for _, c := range s.cores {
+		instr += c.WindowInstructions()
+		if wc := c.WindowCycles(); wc > cycles {
+			cycles = wc
+		}
+	}
+	s.series.Tick(instr, cycles)
 }

@@ -10,8 +10,22 @@ import (
 )
 
 // Geomean returns the geometric mean of xs. Non-positive entries are
-// ignored; an empty (or all-ignored) input yields 0.
+// ignored; an empty (or all-ignored) input yields 0. Table-rendering
+// code keeps this 0-mapping form; export paths that must distinguish
+// "undefined" from a real 0 use GeomeanOK.
 func Geomean(xs []float64) float64 {
+	g, ok := GeomeanOK(xs)
+	if !ok {
+		return 0
+	}
+	return g
+}
+
+// GeomeanOK returns the geometric mean of the positive entries of xs and
+// whether it is defined (at least one positive entry). The JSON/CSV
+// metrics export uses the !ok case to emit an absent value instead of a
+// silent 0.
+func GeomeanOK(xs []float64) (float64, bool) {
 	sum, n := 0.0, 0
 	for _, x := range xs {
 		if x > 0 {
@@ -20,9 +34,9 @@ func Geomean(xs []float64) float64 {
 		}
 	}
 	if n == 0 {
-		return 0
+		return 0, false
 	}
-	return math.Exp(sum / float64(n))
+	return math.Exp(sum / float64(n)), true
 }
 
 // Amean returns the arithmetic mean of xs, or 0 for an empty input.
@@ -37,7 +51,8 @@ func Amean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Ratio returns num/den, or 0 when den is 0.
+// Ratio returns num/den, or 0 when den is 0 (see RatioOK for the
+// distinguishable form).
 func Ratio(num, den float64) float64 {
 	if den == 0 {
 		return 0
@@ -45,8 +60,32 @@ func Ratio(num, den float64) float64 {
 	return num / den
 }
 
-// Pct returns 100*num/den, or 0 when den is 0.
+// Pct returns 100*num/den, or 0 when den is 0 (see PctOK for the
+// distinguishable form).
 func Pct(num, den float64) float64 { return 100 * Ratio(num, den) }
+
+// RatioOK returns num/den and whether the ratio is defined (den != 0).
+func RatioOK(num, den float64) (float64, bool) {
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// PctOK returns 100*num/den and whether it is defined (den != 0).
+func PctOK(num, den float64) (float64, bool) {
+	r, ok := RatioOK(num, den)
+	return 100 * r, ok
+}
+
+// NaNIfUndefined maps an undefined (value, ok=false) pair to NaN, the
+// form the metrics registry's gauges treat as "absent" when exporting.
+func NaNIfUndefined(v float64, ok bool) float64 {
+	if !ok {
+		return math.NaN()
+	}
+	return v
+}
 
 // Counters is an ordered set of named uint64 counters. The zero value is
 // ready to use.

@@ -197,3 +197,47 @@ func TestRenderMarkdown(t *testing.T) {
 		t.Error("empty table produced markdown")
 	}
 }
+
+// TestUndefinedForms pins both behaviors of the aggregate helpers: the
+// legacy table path keeps mapping undefined inputs to 0, while the *OK
+// forms report them distinguishably for the JSON/CSV export path.
+func TestUndefinedForms(t *testing.T) {
+	// Legacy 0-mapping (tables must keep rendering "0.00", not "NaN").
+	if Geomean(nil) != 0 || Geomean([]float64{-1, 0}) != 0 {
+		t.Error("Geomean no longer maps undefined inputs to 0")
+	}
+	if Pct(5, 0) != 0 || Ratio(5, 0) != 0 {
+		t.Error("Pct/Ratio no longer map zero denominators to 0")
+	}
+
+	// Distinguishable forms.
+	if _, ok := GeomeanOK(nil); ok {
+		t.Error("GeomeanOK(nil) claims to be defined")
+	}
+	if _, ok := GeomeanOK([]float64{-2, 0}); ok {
+		t.Error("GeomeanOK with no positive entries claims to be defined")
+	}
+	if g, ok := GeomeanOK([]float64{2, 8}); !ok || g != 4 {
+		t.Errorf("GeomeanOK([2 8]) = %v,%v, want 4,true", g, ok)
+	}
+	if _, ok := RatioOK(5, 0); ok {
+		t.Error("RatioOK(5,0) claims to be defined")
+	}
+	if r, ok := RatioOK(0, 4); !ok || r != 0 {
+		t.Errorf("RatioOK(0,4) = %v,%v, want 0,true — a real 0 stays defined", r, ok)
+	}
+	if p, ok := PctOK(1, 4); !ok || p != 25 {
+		t.Errorf("PctOK(1,4) = %v,%v, want 25,true", p, ok)
+	}
+	if _, ok := PctOK(1, 0); ok {
+		t.Error("PctOK(1,0) claims to be defined")
+	}
+
+	// The bridge into the metrics export: undefined becomes NaN.
+	if !math.IsNaN(NaNIfUndefined(PctOK(1, 0))) {
+		t.Error("NaNIfUndefined did not map undefined to NaN")
+	}
+	if NaNIfUndefined(PctOK(1, 4)) != 25 {
+		t.Error("NaNIfUndefined perturbed a defined value")
+	}
+}

@@ -1,0 +1,154 @@
+// Table IV validation: every preset must actually exhibit the
+// characteristics its table entry declares. The synthetic generators
+// are the repo's substitute for SPEC/GAP traces, so this is the test
+// that keeps them honest: event-level properties (miss rate, write mix,
+// footprint) are measured straight from the streams, and a few
+// representative presets are additionally pushed through tiny
+// direct-mapped simulations to pin their hit-rate class.
+//
+// This lives in an external test package so it can drive internal/sim
+// (which itself imports workloads) without an import cycle.
+package workloads_test
+
+import (
+	"math"
+	"testing"
+
+	"accord/internal/memtypes"
+	"accord/internal/sim"
+	"accord/internal/workloads"
+)
+
+// table4Events is the per-preset sample size for the stream-level
+// checks. Large enough that exponential-gap noise is far below the
+// asserted tolerances (std of the mean gap is meanGap/sqrt(N)).
+const table4Events = 400_000
+
+// anchor system for footprint accounting: a 16Ki-line cache shared by
+// 16 cores, matching how rate mode splits component footprints.
+const (
+	table4CacheLines = 1 << 14
+	table4Cores      = 16
+)
+
+// measureStream drains n events from one core's stream of the preset.
+func measureStream(t *testing.T, name string, n int) (spec workloads.Spec, meanGap, writeFrac, depFrac float64, distinct uint64) {
+	t.Helper()
+	w := workloads.MustGet(name, table4Cores)
+	spec = w.Specs[0]
+	st := workloads.NewStream(spec, table4CacheLines, table4Cores, 12345)
+	seen := make(map[memtypes.LineAddr]struct{}, 1<<16)
+	var gapSum float64
+	var writes, deps, reads int
+	var ev workloads.Event
+	for i := 0; i < n; i++ {
+		st.Next(&ev)
+		gapSum += float64(ev.Gap)
+		if ev.Write {
+			writes++
+		} else {
+			reads++
+			if ev.Dep {
+				deps++
+			}
+		}
+		seen[ev.Line] = struct{}{}
+	}
+	return spec, gapSum / float64(n), float64(writes) / float64(n),
+		float64(deps) / float64(reads), uint64(len(seen))
+}
+
+// expectedLines mirrors NewStream's documented footprint contract: each
+// component's share of the cache, split across cores, floored at one
+// region.
+func expectedLines(spec workloads.Spec) uint64 {
+	var total uint64
+	for _, c := range spec.Components {
+		lines := uint64(c.SizeRatio * float64(table4CacheLines) / float64(table4Cores))
+		if lines < memtypes.LinesPerRegion {
+			lines = memtypes.LinesPerRegion
+		}
+		total += lines
+	}
+	return total
+}
+
+// TestTableIVStreamCharacteristics checks, for every rate-mode preset,
+// that the generated stream delivers its declared MPKI (via the mean
+// instruction gap), write mix, dependence mix, and footprint.
+func TestTableIVStreamCharacteristics(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, meanGap, writeFrac, depFrac, distinct := measureStream(t, name, table4Events)
+
+			// Gaps are exponential with mean 1000/MPKI, truncated to an
+			// int32 instruction count; truncation shaves ~0.5 off the
+			// mean, which only matters for the lowest-MPKI presets.
+			wantGap := 1000/spec.MPKI - 0.5
+			if rel := math.Abs(meanGap-wantGap) / wantGap; rel > 0.10 {
+				t.Errorf("mean gap %.1f; declared MPKI %.1f implies %.1f (%.1f%% off)",
+					meanGap, spec.MPKI, wantGap, 100*rel)
+			}
+
+			if math.Abs(writeFrac-spec.WriteFrac) > 0.05 {
+				t.Errorf("write fraction %.3f, declared %.3f", writeFrac, spec.WriteFrac)
+			}
+			if math.Abs(depFrac-spec.DepFrac) > 0.05 {
+				t.Errorf("dep fraction of reads %.3f, declared %.3f", depFrac, spec.DepFrac)
+			}
+
+			// Footprint: the stream must roam essentially all of its
+			// declared arena and never outside it. 400k events saturate
+			// even the random components at this scale, so 85% coverage
+			// is a loose floor.
+			want := expectedLines(spec)
+			if distinct > want {
+				t.Errorf("touched %d distinct lines, above the declared footprint %d", distinct, want)
+			}
+			if float64(distinct) < 0.85*float64(want) {
+				t.Errorf("touched %d distinct lines, under 85%% of the declared footprint %d", distinct, want)
+			}
+		})
+	}
+}
+
+// TestTableIVHitRateClasses runs representative presets through a tiny
+// direct-mapped simulation and checks each lands in its Table IV
+// hit-rate class: the cache-resident workloads near the top, the
+// footprint monsters near the bottom. Bands are deliberately wide
+// (±8pp around seeded reference runs) so they track workload character,
+// not simulator noise.
+func TestTableIVHitRateClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed check; skipped in -short")
+	}
+	cases := []struct {
+		workload string
+		lo, hi   float64
+	}{
+		{"sphinx3", 0.90, 1.00},    // working set well inside the cache
+		{"libquantum", 0.70, 0.90}, // mostly resident, some streaming
+		{"soplex", 0.58, 0.78},     // mixed resident/over-capacity
+		{"pr_twitter", 0.38, 0.58}, // sparse graph, huge footprint
+		{"mcf", 0.35, 0.55},        // random pointer-chasing, over capacity
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.workload, func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.DirectMapped()
+			cfg.Scale = 8192
+			cfg.Cores = 4
+			cfg.WarmupInstr = 50_000
+			cfg.MeasureInstr = 50_000
+			cfg.Seed = 1
+			res := sim.New(cfg, workloads.MustGet(tc.workload, cfg.Cores)).Run(tc.workload)
+			if hr := res.HitRate(); hr < tc.lo || hr > tc.hi {
+				t.Errorf("direct-mapped hit rate %.4f outside Table IV class [%.2f, %.2f]",
+					hr, tc.lo, tc.hi)
+			}
+		})
+	}
+}
