@@ -4,7 +4,14 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke verify
+# Benchmark-trajectory settings: the paper-artifact suite, run -count
+# times and reduced to medians by cmd/benchjson. BENCH_JSON is the
+# committed trajectory file CI compares fresh runs against.
+BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl
+BENCH_COUNT   ?= 3
+BENCH_JSON    ?= BENCH_PR3.json
+
+.PHONY: all build test race vet bench-smoke bench-json bench-compare profile verify
 
 all: verify
 
@@ -28,5 +35,27 @@ vet:
 # regressions on the hot paths the scheduler multiplies.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSimulatorThroughput|BenchmarkSessionParallel|BenchmarkDRAMCacheRead' -benchtime 2x .
+
+# Capture the benchmark trajectory: run the paper-artifact suite and
+# reduce it to a committed JSON document (medians, geomean, manifest).
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count $(BENCH_COUNT) -timeout 3600s . \
+		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# Compare a fresh capture against the committed baseline; warns at a
+# 15% geomean regression and fails at 30% (wall-clock benchmarks on
+# shared runners are noisy — see cmd/benchjson).
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count $(BENCH_COUNT) -timeout 3600s . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench_current.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) /tmp/bench_current.json
+
+# Profile the simulation kernel end to end: accordbench already carries
+# -cpuprofile/-memprofile flags; this wraps them with a representative
+# workload and opens the top functions. Use `go tool pprof -http` on
+# /tmp/accord.cpu.prof to explore interactively.
+profile:
+	$(GO) run ./cmd/accordbench -quick -experiment fig1 -cpuprofile /tmp/accord.cpu.prof -memprofile /tmp/accord.mem.prof > /dev/null
+	$(GO) tool pprof -top -nodecount=15 /tmp/accord.cpu.prof
 
 verify: build vet test race

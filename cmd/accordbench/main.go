@@ -142,7 +142,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "accordbench: %s in %.1fs\n", e.ID, time.Since(start).Seconds())
 	}
-	fmt.Fprintf(os.Stderr, "accordbench: total %.1fs with %d workers\n", time.Since(total).Seconds(), workers)
+	elapsed := time.Since(total).Seconds()
+	events, instr := session.TotalEvents()
+	fmt.Fprintf(os.Stderr, "accordbench: total %.1fs with %d workers — %.2fM memory events/s, %.1fM retired instructions/s\n",
+		elapsed, workers, float64(events)/elapsed/1e6, float64(instr)/elapsed/1e6)
 
 	if *metricsOut != "" {
 		ex := session.ExportMetrics(man.Finish())

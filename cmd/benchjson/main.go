@@ -1,0 +1,269 @@
+// Command benchjson turns `go test -bench` output into a committed,
+// machine-readable benchmark trajectory, and compares two such files.
+//
+//	go test -run '^$' -bench 'Fig|Tab' -benchtime 1x -count 3 . | benchjson -o BENCH_PR3.json
+//	benchjson -compare BENCH_PR3.json bench_new.json
+//
+// Capture mode parses benchmark lines (multiple -count runs of the same
+// benchmark are reduced to their median), records ns/op, B/op and
+// allocs/op per benchmark plus the geometric-mean ns/op, and stamps a
+// manifest with the git revision and Go version so a committed file
+// documents where its numbers came from.
+//
+// Compare mode matches benchmarks by name between an old (baseline) and
+// new file, prints a per-benchmark delta table, and gates on the
+// geometric mean of the new/old time ratios: above -warn it emits a
+// GitHub Actions ::warning:: annotation, above -fail it exits nonzero.
+// The two thresholds exist because wall-time benchmarks on shared CI
+// runners are noisy — flag early, fail only on unambiguous regressions.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark's reduced result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the committed benchmark-trajectory document.
+type File struct {
+	Manifest   Manifest    `json:"manifest"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	GeomeanNs  float64     `json:"geomean_ns_per_op"`
+}
+
+// Manifest records the provenance of a capture.
+type Manifest struct {
+	Generated string `json:"generated"`
+	Git       string `json:"git"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// parse reduces raw `go test -bench` output to per-benchmark medians.
+func parse(r io.Reader) ([]Benchmark, error) {
+	type acc struct{ ns, bytes, allocs []float64 }
+	byName := map[string]*acc{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		a := byName[m[1]]
+		if a == nil {
+			a = &acc{}
+			byName[m[1]] = a
+			order = append(order, m[1])
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		a.ns = append(a.ns, ns)
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			a.bytes = append(a.bytes, b)
+		}
+		if m[4] != "" {
+			al, _ := strconv.ParseFloat(m[4], 64)
+			a.allocs = append(a.allocs, al)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var out []Benchmark
+	for _, name := range order {
+		a := byName[name]
+		b := Benchmark{Name: name, Runs: len(a.ns), NsPerOp: median(a.ns)}
+		if len(a.bytes) > 0 {
+			b.BytesPerOp = median(a.bytes)
+		}
+		if len(a.allocs) > 0 {
+			b.AllocsPerOp = median(a.allocs)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func capture(in io.Reader, outPath string) error {
+	benches, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	var times []float64
+	for _, b := range benches {
+		times = append(times, b.NsPerOp)
+	}
+	f := File{
+		Manifest: Manifest{
+			Generated: time.Now().UTC().Format(time.RFC3339),
+			Git:       gitDescribe(),
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+		},
+		Benchmarks: benches,
+		GeomeanNs:  geomean(times),
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks (geomean %.1f ns/op) to %s\n",
+		len(benches), f.GeomeanNs, outPath)
+	return nil
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(data, &f)
+}
+
+func compare(oldPath, newPath string, warn, fail float64) (int, error) {
+	oldF, err := load(oldPath)
+	if err != nil {
+		return 2, err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return 2, err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var ratios []float64
+	fmt.Printf("%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, nb := range newF.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok || ob.NsPerOp == 0 {
+			fmt.Printf("%-34s %14s %14.0f %8s\n", nb.Name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		r := nb.NsPerOp / ob.NsPerOp
+		ratios = append(ratios, r)
+		fmt.Printf("%-34s %14.0f %14.0f %7.3fx\n", nb.Name, ob.NsPerOp, nb.NsPerOp, r)
+	}
+	if len(ratios) == 0 {
+		return 2, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+	g := geomean(ratios)
+	fmt.Printf("\ngeomean ratio (new/old, %d benchmarks): %.3fx  [baseline %s -> %s]\n",
+		len(ratios), g, oldF.Manifest.Git, newF.Manifest.Git)
+	switch {
+	case g > fail:
+		fmt.Printf("::error::benchmark geomean regressed %.1f%% (> %.0f%% failure threshold)\n",
+			(g-1)*100, (fail-1)*100)
+		return 1, nil
+	case g > warn:
+		fmt.Printf("::warning::benchmark geomean regressed %.1f%% (> %.0f%% warning threshold)\n",
+			(g-1)*100, (warn-1)*100)
+	}
+	return 0, nil
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "-", "capture mode: output path for the JSON document ('-' = stdout)")
+		in     = flag.String("in", "-", "capture mode: `go test -bench` output to parse ('-' = stdin)")
+		cmp    = flag.Bool("compare", false, "compare mode: args are <old.json> <new.json>")
+		warnAt = flag.Float64("warn", 1.15, "compare mode: warn when geomean ratio exceeds this")
+		failAt = flag.Float64("fail", 1.30, "compare mode: exit nonzero when geomean ratio exceeds this")
+	)
+	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
+			os.Exit(2)
+		}
+		code, err := compare(flag.Arg(0), flag.Arg(1), *warnAt, *failAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		}
+		os.Exit(code)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	if err := capture(r, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+}

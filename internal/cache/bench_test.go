@@ -1,0 +1,31 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"accord/internal/memtypes"
+)
+
+// BenchmarkCacheLookup measures the SRAM-hierarchy probe path: lookups
+// over a pre-filled 8-way L3-like cache with a working set ~2x its
+// capacity, so hits and misses interleave. It must report 0 allocs/op —
+// in full-hierarchy mode every workload event walks this path up to
+// three times.
+func BenchmarkCacheLookup(b *testing.B) {
+	c := New(Config{Name: "l3", SizeBytes: 1 << 20, Ways: 8})
+	r := rand.New(rand.NewSource(1))
+	capacityLines := uint64(1<<20) / memtypes.LineSize
+	addrs := make([]memtypes.LineAddr, 8192)
+	for i := range addrs {
+		addrs[i] = memtypes.LineAddr(r.Uint64() % (2 * capacityLines))
+	}
+	for _, l := range addrs {
+		c.Fill(l, false, DCP{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addrs[i&(len(addrs)-1)], i&7 == 0)
+	}
+}

@@ -52,12 +52,15 @@ type Eviction struct {
 	DCP   DCP
 }
 
+// line is the hot per-way metadata; field order keeps it at 24 bytes
+// (two ways per cache line of the host) with the tag — the field every
+// probe reads — first.
 type line struct {
 	tag   uint64
-	valid bool
-	dirty bool
 	used  uint64 // LRU timestamp
 	dcp   DCP
+	valid bool
+	dirty bool
 }
 
 // Stats counts the externally visible events of one cache.
@@ -71,12 +74,16 @@ type Stats struct {
 // Cache is a set-associative write-back SRAM cache. The zero value is not
 // usable; construct with New.
 type Cache struct {
-	cfg     Config
-	numSets uint64
-	ways    int
-	lines   []line // sets*ways, row-major by set
-	clock   uint64 // LRU timestamp source
-	stats   Stats
+	cfg      Config
+	numSets  uint64
+	setMask  uint64 // numSets - 1
+	setShift uint   // log2(numSets), precomputed off the access path
+	ways     int
+	lines    []line // sets*ways, row-major by set
+	clock    uint64 // LRU timestamp source
+	stats    Stats
+
+	invScratch []uint64 // CheckInvariants scratch, reused across sets
 }
 
 // New builds a cache from cfg, panicking on invalid configuration (always
@@ -87,10 +94,12 @@ func New(cfg Config) *Cache {
 	}
 	numSets := uint64(cfg.SizeBytes / (memtypes.LineSize * int64(cfg.Ways)))
 	return &Cache{
-		cfg:     cfg,
-		numSets: numSets,
-		ways:    cfg.Ways,
-		lines:   make([]line, numSets*uint64(cfg.Ways)),
+		cfg:      cfg,
+		numSets:  numSets,
+		setMask:  numSets - 1,
+		setShift: log2(numSets),
+		ways:     cfg.Ways,
+		lines:    make([]line, numSets*uint64(cfg.Ways)),
 	}
 }
 
@@ -124,9 +133,7 @@ func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
 }
 
 func (c *Cache) index(l memtypes.LineAddr) (set uint64, tag uint64) {
-	set = uint64(l) & (c.numSets - 1)
-	tag = uint64(l) >> log2(c.numSets)
-	return set, tag
+	return uint64(l) & c.setMask, uint64(l) >> c.setShift
 }
 
 func log2(x uint64) uint {
@@ -263,22 +270,29 @@ func (c *Cache) OccupancyOfSet(l memtypes.LineAddr) int {
 }
 
 func (c *Cache) lineAddr(set, tag uint64) memtypes.LineAddr {
-	return memtypes.LineAddr(tag<<log2(c.numSets) | set)
+	return memtypes.LineAddr(tag<<c.setShift | set)
 }
 
 // CheckInvariants validates internal consistency (no duplicate tags within
-// a set); tests call this after random operation sequences.
+// a set); tests call this after random operation sequences. It reuses a
+// scratch slice instead of allocating a map per set so invariant-checking
+// fuzz loops stay off the allocator.
 func (c *Cache) CheckInvariants() error {
+	if cap(c.invScratch) < c.ways {
+		c.invScratch = make([]uint64, 0, c.ways)
+	}
 	for s := uint64(0); s < c.numSets; s++ {
-		seen := make(map[uint64]bool)
+		seen := c.invScratch[:0]
 		for _, w := range c.set(s) {
 			if !w.valid {
 				continue
 			}
-			if seen[w.tag] {
-				return fmt.Errorf("cache %s: duplicate tag %#x in set %d", c.cfg.Name, w.tag, s)
+			for _, t := range seen {
+				if t == w.tag {
+					return fmt.Errorf("cache %s: duplicate tag %#x in set %d", c.cfg.Name, w.tag, s)
+				}
 			}
-			seen[w.tag] = true
+			seen = append(seen, w.tag)
 		}
 	}
 	return nil

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"accord/internal/xrand"
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 
 	"accord/internal/memtypes"
@@ -100,7 +100,7 @@ type ACCORD struct {
 	ways    int
 	wayMask uint64
 	wayBits uint
-	rng     *rand.Rand
+	rng     *xrand.Rand
 
 	rit, rlt    *regionTable // nil unless UseGWS
 	candScratch []int        // scratch for validCandidate
@@ -121,7 +121,7 @@ func NewACCORD(cfg ACCORDConfig) *ACCORD {
 		ways:    cfg.Geom.Ways,
 		wayMask: uint64(cfg.Geom.Ways - 1),
 		wayBits: bitsFor(cfg.Geom.Ways),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     xrand.New(cfg.Seed),
 	}
 	a.candScratch = make([]int, 0, cfg.Geom.Ways)
 	if cfg.UseGWS {

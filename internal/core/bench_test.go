@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"accord/internal/memtypes"
+)
+
+// BenchmarkRegionTable measures the GWS steering-table hot path: a
+// lookup/insert mix over a working set ~2x the table's capacity, so both
+// the probe-hit and the evict-and-reinsert paths are exercised. It must
+// report 0 allocs/op — the RIT and RLT are consulted on every DRAM-cache
+// access.
+func BenchmarkRegionTable(b *testing.B) {
+	const capacity = 64
+	t := newRegionTable(capacity)
+	r := rand.New(rand.NewSource(1))
+	regions := make([]memtypes.RegionID, 4096)
+	for i := range regions {
+		regions[i] = memtypes.RegionID(r.Intn(2 * capacity))
+	}
+	for i := 0; i < capacity; i++ {
+		t.insert(memtypes.RegionID(i), i&1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		region := regions[i&(len(regions)-1)]
+		if _, ok := t.lookup(region); !ok {
+			t.insert(region, i&1)
+		}
+	}
+}

@@ -14,7 +14,7 @@
 package core
 
 import (
-	"math/rand"
+	"accord/internal/xrand"
 
 	"accord/internal/memtypes"
 )
@@ -75,12 +75,12 @@ func allWays(ways int, buf []int) []int {
 // into a random way (the DRAM cache's update-free random replacement).
 type RandPolicy struct {
 	geom Geometry
-	rng  *rand.Rand
+	rng  *xrand.Rand
 }
 
 // NewRand builds the random policy.
 func NewRand(geom Geometry, seed int64) *RandPolicy {
-	return &RandPolicy{geom: geom, rng: rand.New(rand.NewSource(seed))}
+	return &RandPolicy{geom: geom, rng: xrand.New(seed)}
 }
 
 // Name implements Policy.
@@ -120,7 +120,7 @@ func (p *RandPolicy) FilterMiss(set, tag uint64) bool { return false }
 // 4 GB 2-way cache.
 type MRUPolicy struct {
 	geom Geometry
-	rng  *rand.Rand
+	rng  *xrand.Rand
 	mru  []uint8
 }
 
@@ -128,7 +128,7 @@ type MRUPolicy struct {
 func NewMRU(geom Geometry, seed int64) *MRUPolicy {
 	return &MRUPolicy{
 		geom: geom,
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  xrand.New(seed),
 		mru:  make([]uint8, geom.Sets),
 	}
 }
@@ -181,7 +181,7 @@ func (p *MRUPolicy) FilterMiss(set, tag uint64) bool { return false }
 // a 4 GB cache.
 type PartialTagPolicy struct {
 	geom Geometry
-	rng  *rand.Rand
+	rng  *xrand.Rand
 	bits uint
 	tags []uint8 // sets*ways partial tags
 	live []bool  // whether the slot has been installed
@@ -196,7 +196,7 @@ func NewPartialTag(geom Geometry, bits uint, seed int64) *PartialTagPolicy {
 	n := geom.Lines()
 	return &PartialTagPolicy{
 		geom: geom,
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  xrand.New(seed),
 		bits: bits,
 		tags: make([]uint8, n),
 		live: make([]bool, n),

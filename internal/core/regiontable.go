@@ -6,11 +6,17 @@ import "accord/internal/memtypes"
 // way-steering: the Recent Install Table (RIT) and the Recent Lookup
 // Table (RLT) are both instances. Entries map a 4 KB RegionID to a way.
 // Capacity is tiny (64 entries in the paper), so an intrusive
-// doubly-linked LRU over a fixed slot array keeps it allocation-free.
+// doubly-linked LRU over a fixed slot array keeps it allocation-free, and
+// the region -> slot index is an open-addressed linear-probe array (kept
+// at most quarter full) rather than a Go map — the table sits on the
+// per-event path of every GWS lookup and install, where linear probing
+// over an int32 array is roughly an order of magnitude cheaper than a
+// map access.
 type regionTable struct {
 	cap   int
-	index map[memtypes.RegionID]int // region -> slot
 	slots []rtSlot
+	probe []int32 // open-addressed index: slot+1, 0 = empty
+	mask  uint64
 	head  int // MRU slot, -1 when empty
 	tail  int // LRU slot, -1 when empty
 	used  int
@@ -19,7 +25,7 @@ type regionTable struct {
 type rtSlot struct {
 	region     memtypes.RegionID
 	way        uint8
-	prev, next int
+	prev, next int32
 }
 
 // newRegionTable creates a table of the given capacity.
@@ -27,10 +33,17 @@ func newRegionTable(capacity int) *regionTable {
 	if capacity <= 0 {
 		capacity = 1
 	}
+	// Probe table at most 1/4 full: 4x capacity rounded up to a power of
+	// two. Short probe chains matter more than the few hundred bytes.
+	pn := 4
+	for pn < 4*capacity {
+		pn *= 2
+	}
 	return &regionTable{
 		cap:   capacity,
-		index: make(map[memtypes.RegionID]int, capacity),
 		slots: make([]rtSlot, capacity),
+		probe: make([]int32, pn),
+		mask:  uint64(pn - 1),
 		head:  -1,
 		tail:  -1,
 	}
@@ -46,10 +59,82 @@ func (t *regionTable) storageBytes() int64 {
 	return int64(t.cap) * entryBits / 8
 }
 
+// hashRegion spreads region bits with a Fibonacci multiplier; consecutive
+// regions would otherwise cluster in one probe run.
+func hashRegion(r memtypes.RegionID) uint64 {
+	return uint64(r) * 0x9e3779b97f4a7c15
+}
+
+// findSlot returns the slot holding region, or -1. The probe table is
+// never full, so the scan always terminates at an empty cell.
+func (t *regionTable) findSlot(region memtypes.RegionID) int {
+	i := hashRegion(region) & t.mask
+	for {
+		e := t.probe[i]
+		if e == 0 {
+			return -1
+		}
+		if s := int(e - 1); t.slots[s].region == region {
+			return s
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// indexInsert records region -> slot; region must not be present.
+func (t *regionTable) indexInsert(region memtypes.RegionID, slot int) {
+	i := hashRegion(region) & t.mask
+	for t.probe[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.probe[i] = int32(slot + 1)
+}
+
+// indexDelete removes region from the probe array using backward-shift
+// deletion, which keeps every remaining entry reachable without
+// tombstones.
+func (t *regionTable) indexDelete(region memtypes.RegionID) {
+	i := hashRegion(region) & t.mask
+	for {
+		e := t.probe[i]
+		if e == 0 {
+			return // absent; nothing to delete
+		}
+		if t.slots[e-1].region == region {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	j := i
+	for {
+		t.probe[i] = 0
+		for {
+			j = (j + 1) & t.mask
+			e := t.probe[j]
+			if e == 0 {
+				return
+			}
+			k := hashRegion(t.slots[e-1].region) & t.mask
+			// The entry at j may move into the hole at i only if its home
+			// position k does not lie in the cyclic interval (i, j].
+			if i <= j {
+				if i < k && k <= j {
+					continue
+				}
+			} else if i < k || k <= j {
+				continue
+			}
+			break
+		}
+		t.probe[i] = t.probe[j]
+		i = j
+	}
+}
+
 // lookup returns the way recorded for region, refreshing its recency.
 func (t *regionTable) lookup(region memtypes.RegionID) (way int, ok bool) {
-	slot, ok := t.index[region]
-	if !ok {
+	slot := t.findSlot(region)
+	if slot < 0 {
 		return 0, false
 	}
 	t.moveToFront(slot)
@@ -59,7 +144,7 @@ func (t *regionTable) lookup(region memtypes.RegionID) (way int, ok bool) {
 // insert records region -> way, evicting the LRU entry when full. An
 // existing entry is updated and refreshed.
 func (t *regionTable) insert(region memtypes.RegionID, way int) {
-	if slot, ok := t.index[region]; ok {
+	if slot := t.findSlot(region); slot >= 0 {
 		t.slots[slot].way = uint8(way)
 		t.moveToFront(slot)
 		return
@@ -71,11 +156,11 @@ func (t *regionTable) insert(region memtypes.RegionID, way int) {
 	} else {
 		slot = t.tail
 		t.unlink(slot)
-		delete(t.index, t.slots[slot].region)
+		t.indexDelete(t.slots[slot].region)
 	}
 	t.slots[slot] = rtSlot{region: region, way: uint8(way), prev: -1, next: -1}
 	t.pushFront(slot)
-	t.index[region] = slot
+	t.indexInsert(region, slot)
 }
 
 // len returns the number of live entries.
@@ -94,12 +179,12 @@ func (t *regionTable) unlink(slot int) {
 	if s.prev >= 0 {
 		t.slots[s.prev].next = s.next
 	} else if t.head == slot {
-		t.head = s.next
+		t.head = int(s.next)
 	}
 	if s.next >= 0 {
 		t.slots[s.next].prev = s.prev
 	} else if t.tail == slot {
-		t.tail = s.prev
+		t.tail = int(s.prev)
 	}
 	s.prev, s.next = -1, -1
 }
@@ -107,9 +192,9 @@ func (t *regionTable) unlink(slot int) {
 func (t *regionTable) pushFront(slot int) {
 	s := &t.slots[slot]
 	s.prev = -1
-	s.next = t.head
+	s.next = int32(t.head)
 	if t.head >= 0 {
-		t.slots[t.head].prev = slot
+		t.slots[t.head].prev = int32(slot)
 	}
 	t.head = slot
 	if t.tail < 0 {

@@ -54,22 +54,31 @@ type Translate func(memtypes.LineAddr) memtypes.LineAddr
 // Core is one processor core consuming its workload stream. It is not
 // safe for concurrent use.
 type Core struct {
-	id        int
-	params    Params
+	// Hot per-Step state leads the struct so the common path touches the
+	// first cache line or two: the clocks, the widened issue parameters
+	// (converted from Params once at construction instead of per event),
+	// and the reused event buffer.
+	time       int64
+	instr      int64
+	instCarry  int64
+	issueWidth int64 // int64(params.IssueWidth), hoisted off the Step path
+	issueMask  int64 // issueWidth-1 when the width is a power of two, else -1
+	issueShift uint8 // log2(issueWidth) when issueMask >= 0
+	sramLat    int64 // params.SRAMLat
+	ev         workloads.Event // reused across Steps; &ev escapes through the Stream interface, so a local would heap-allocate every event
+	mshr       []int64         // completion cycles of in-flight misses
+
 	stream    workloads.Stream
 	translate Translate
 	mem       MemorySystem
 
-	time      int64
-	instr     int64
-	instCarry int64
-	mshr      []int64         // completion cycles of in-flight misses
-	ev        workloads.Event // reused across Steps; &ev escapes through the Stream interface, so a local would heap-allocate every event
+	reads, writes, depStalls, mshrStalls uint64
 
+	// Cold configuration and window marks.
+	id        int
+	params    Params
 	markTime  int64
 	markInstr int64
-
-	reads, writes, depStalls, mshrStalls uint64
 }
 
 // New builds a core. It panics on invalid parameters.
@@ -77,13 +86,25 @@ func New(id int, params Params, stream workloads.Stream, translate Translate, me
 	if err := params.Validate(); err != nil {
 		panic(err)
 	}
+	w := int64(params.IssueWidth)
+	mask, shift := int64(-1), uint8(0)
+	if w&(w-1) == 0 {
+		mask = w - 1
+		for 1<<shift < w {
+			shift++
+		}
+	}
 	return &Core{
-		id:        id,
-		params:    params,
-		stream:    stream,
-		translate: translate,
-		mem:       mem,
-		mshr:      make([]int64, params.MSHRs),
+		id:         id,
+		params:     params,
+		issueWidth: w,
+		issueMask:  mask,
+		issueShift: shift,
+		sramLat:    params.SRAMLat,
+		stream:     stream,
+		translate:  translate,
+		mem:        mem,
+		mshr:       make([]int64, params.MSHRs),
 	}
 }
 
@@ -102,10 +123,16 @@ func (c *Core) Step() {
 	c.stream.Next(ev)
 
 	// Non-memory instructions retire at the issue width; the remainder
-	// carries so long-run throughput is exact.
+	// carries so long-run throughput is exact. instCarry is never
+	// negative, so for power-of-two widths the division is a shift.
 	c.instCarry += int64(ev.Gap)
-	c.time += c.instCarry / int64(c.params.IssueWidth)
-	c.instCarry %= int64(c.params.IssueWidth)
+	if c.issueMask >= 0 {
+		c.time += c.instCarry >> c.issueShift
+		c.instCarry &= c.issueMask
+	} else {
+		c.time += c.instCarry / c.issueWidth
+		c.instCarry %= c.issueWidth
+	}
 
 	line := c.translate(ev.Line)
 	switch {
@@ -113,11 +140,11 @@ func (c *Core) Step() {
 		// Dirty writeback: drains through the write buffer without
 		// stalling the core.
 		c.writes++
-		c.mem.Write(c.time+c.params.SRAMLat, line)
+		c.mem.Write(c.time+c.sramLat, line)
 	default:
 		c.reads++
 		slot := c.admit()
-		done := c.mem.Read(c.time+c.params.SRAMLat, line)
+		done := c.mem.Read(c.time+c.sramLat, line)
 		if ev.Dep {
 			// The core cannot run ahead of a dependent load.
 			c.depStalls++

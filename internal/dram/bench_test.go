@@ -1,0 +1,34 @@
+package dram
+
+import (
+	"testing"
+
+	"accord/internal/memtypes"
+)
+
+// BenchmarkDRAMAccess measures the resource-reservation timing model's
+// per-access cost: mapped reads spread over banks and rows, in roughly
+// non-decreasing time order, the way the simulator drives it. It must
+// report 0 allocs/op — Access is the innermost call of every simulated
+// probe (the busy-interval backing array is warmed before timing).
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := New(HBM(), 3.0)
+	m := d.Config().NewMapper(28) // 2 KB row / 72 B tag+data units
+	units := make([]uint64, 1024)
+	for i := range units {
+		units[i] = uint64(i * 37)
+	}
+	at := int64(0)
+	for i := 0; i < 256; i++ { // warm busy-interval buffers
+		loc := m.Map(units[i&(len(units)-1)])
+		at = d.Access(at, loc, memtypes.Read, memtypes.TagUnitSize).DataAt - 20
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc := m.Map(units[i&(len(units)-1)])
+		// Trail completion slightly so reservations both extend the bus
+		// schedule and occasionally backfill gaps.
+		at = d.Access(at, loc, memtypes.Read, memtypes.TagUnitSize).DataAt - 20
+	}
+}

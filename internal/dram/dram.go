@@ -13,6 +13,7 @@ package dram
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"accord/internal/memtypes"
 	"accord/internal/metrics"
@@ -131,15 +132,78 @@ type Loc struct {
 // (unit/unitsPerRow selects the row), and consecutive rows stripe across
 // channels and then banks so that independent accesses spread out.
 func (c Config) MapUnit(unit uint64, unitsPerRow int) Loc {
+	m := c.NewMapper(unitsPerRow)
+	return m.Map(unit)
+}
+
+// Mapper is the precomputed form of MapUnit for one (device, unitsPerRow)
+// pairing. Callers on the per-access hot path build a Mapper once and call
+// Map per access: the Mapper is a few words (no Config copy per call), and
+// every division strength-reduces to a shift (powers of two) or a
+// reciprocal multiplication (e.g. the 28 tag+data units per 2 KB row).
+type Mapper struct {
+	rowDiv  divisor
+	chanDiv divisor
+	bankDiv divisor
+}
+
+// divisor divides/reduces by a fixed uint64, with a shift/mask fast path
+// for powers of two and a multiply-by-reciprocal fast path for other
+// divisors below 2^32.
+type divisor struct {
+	n     uint64
+	magic uint64 // ceil(2^64/n) when usable, else 0
+	shift uint
+	pow2  bool
+}
+
+func newDivisor(n uint64) divisor {
+	d := divisor{n: n}
+	if n&(n-1) == 0 {
+		d.pow2 = true
+		for m := n; m > 1; m >>= 1 {
+			d.shift++
+		}
+	} else if n < 1<<32 {
+		// With m = floor(2^64/n)+1 = (2^64+e)/n for some 1 <= e <= n,
+		// hi(m*x) = floor(x/n + x*e/(n*2^64)), which equals floor(x/n)
+		// whenever x*e < 2^64 — guaranteed for x, n < 2^32.
+		d.magic = ^uint64(0)/n + 1
+	}
+	return d
+}
+
+func (d divisor) divMod(x uint64) (quo, rem uint64) {
+	if d.pow2 {
+		return x >> d.shift, x & (d.n - 1)
+	}
+	if d.magic != 0 && x < 1<<32 {
+		quo, _ = bits.Mul64(d.magic, x)
+		return quo, x - quo*d.n
+	}
+	return x / d.n, x % d.n
+}
+
+// NewMapper precomputes the striping arithmetic of MapUnit.
+func (c Config) NewMapper(unitsPerRow int) Mapper {
 	if unitsPerRow < 1 {
 		unitsPerRow = 1
 	}
-	rowID := unit / uint64(unitsPerRow)
-	ch := int(rowID % uint64(c.Channels))
-	rest := rowID / uint64(c.Channels)
-	bank := int(rest % uint64(c.BanksPerChannel))
-	row := rest / uint64(c.BanksPerChannel)
-	return Loc{Channel: ch, Bank: bank, Row: row}
+	return Mapper{
+		rowDiv:  newDivisor(uint64(unitsPerRow)),
+		chanDiv: newDivisor(uint64(c.Channels)),
+		bankDiv: newDivisor(uint64(c.BanksPerChannel)),
+	}
+}
+
+// Map maps a linear unit index to its device location (see MapUnit).
+// Pointer receiver on purpose: the Mapper is several cache-line-sized
+// words of precomputed divisors, and Map is called per probe.
+func (m *Mapper) Map(unit uint64) Loc {
+	rowID, _ := m.rowDiv.divMod(unit)
+	rest, ch := m.chanDiv.divMod(rowID)
+	row, bank := m.bankDiv.divMod(rest)
+	return Loc{Channel: int(ch), Bank: int(bank), Row: row}
 }
 
 // Result reports the timing of one access.
@@ -188,16 +252,39 @@ const maxBusyIntervals = 24
 
 type busyIvl struct{ start, end int64 }
 
+// busyBufCap sizes each channel's reusable busy-interval backing array.
+// The live window slides forward through it as history is dropped, so the
+// compaction copy in appendBusy amortizes to once per ~(busyBufCap -
+// maxBusyIntervals) reservations.
+const busyBufCap = 96
+
 type channel struct {
 	// busy holds the channel data bus's scheduled transfer windows,
 	// sorted and non-overlapping. Keeping intervals instead of a single
 	// next-free scalar lets a transfer scheduled in the near future (a
 	// dependent second probe, a fill) coexist with earlier idle time:
 	// requests backfill gaps instead of queueing behind reservations that
-	// have not happened yet.
+	// have not happened yet. busy is a sliding window into busyBuf;
+	// dropping the oldest interval is a reslice, not a copy.
 	busy         []busyIvl
+	busyBuf      []busyIvl
 	writeBacklog int64 // queued write-drain cycles
 	banks        []bank
+}
+
+// appendBusy appends iv to the busy window, sliding the window back to
+// the start of the reusable backing array when it reaches the end. The
+// window never exceeds maxBusyIntervals+1 entries, so compaction always
+// leaves room.
+func (ch *channel) appendBusy(iv busyIvl) {
+	if len(ch.busy) == cap(ch.busy) {
+		if ch.busyBuf == nil {
+			ch.busyBuf = make([]busyIvl, busyBufCap)
+		}
+		n := copy(ch.busyBuf, ch.busy)
+		ch.busy = ch.busyBuf[:n]
+	}
+	ch.busy = append(ch.busy, iv)
 }
 
 // lastEnd returns the end of the latest scheduled transfer.
@@ -211,9 +298,35 @@ func (ch *channel) lastEnd() int64 {
 // reserve finds the earliest start >= from where the bus is free for dur
 // cycles, books it, and returns it.
 func (ch *channel) reserve(from, dur int64) int64 {
+	// Fast path: the request starts at or after every scheduled transfer,
+	// which is the common case when the bus is busy and time moves
+	// forward. Append (or extend the final interval) without scanning.
+	if n := len(ch.busy); n > 0 && from >= ch.busy[n-1].end {
+		if from == ch.busy[n-1].end {
+			ch.busy[n-1].end = from + dur
+		} else {
+			ch.appendBusy(busyIvl{start: from, end: from + dur})
+			if len(ch.busy) > maxBusyIntervals {
+				// Drop the oldest interval by sliding the window — a
+				// reslice, not a copy.
+				ch.busy = ch.busy[1:]
+			}
+		}
+		return from
+	}
+	// Intervals whose end is <= from can never constrain this request;
+	// the forward walk below would skip them one by one. Seek the first
+	// relevant interval from the END instead: requests land near the
+	// present, so this backward seek is a step or two while a forward
+	// skip would traverse the whole retained history.
+	p := len(ch.busy)
+	for p > 0 && ch.busy[p-1].end > from {
+		p--
+	}
 	t := from
-	idx := 0
-	for i, iv := range ch.busy {
+	idx := p
+	for i := p; i < len(ch.busy); i++ {
+		iv := ch.busy[i]
 		if iv.end <= t {
 			idx = i + 1
 			continue
@@ -236,12 +349,12 @@ func (ch *channel) reserve(from, dur int64) int64 {
 	} else if idx < len(ch.busy) && ch.busy[idx].start == nb.end {
 		ch.busy[idx].start = nb.start
 	} else {
-		ch.busy = append(ch.busy, busyIvl{})
+		ch.appendBusy(busyIvl{})
 		copy(ch.busy[idx+1:], ch.busy[idx:])
 		ch.busy[idx] = nb
 	}
 	if len(ch.busy) > maxBusyIntervals {
-		ch.busy = ch.busy[len(ch.busy)-maxBusyIntervals:]
+		ch.busy = ch.busy[1:]
 	}
 	return t
 }
@@ -255,10 +368,28 @@ type Device struct {
 	tCAS, tRCD, tRP, tRAS, tWR int64
 	cyclesPerNS                float64
 
+	// xferByBeats[b] is the bus occupancy of a b-beat transfer,
+	// precomputed so the per-access path never touches float math; the
+	// drain floor of writeOcc is likewise fixed at construction, and
+	// xferPer hoists the per-beat payload width off the access path.
+	xferByBeats [maxXferBeats + 1]int64
+	// xferByBytes caches transferCycles for the common small payloads
+	// (lines and tag+data units), keyed by byte count so the hot path
+	// avoids the division by the per-beat width. A heap slice, not an
+	// inline array: Devices are created per simulated session, and an
+	// inline table would bloat every copy of the struct.
+	xferByBytes []int64
+	drainFloor  int64
+	xferPer     int
+
 	channels      []channel
 	writeQueueCap int64 // backlog cycles at which reads start stalling
 	stats         Stats
 }
+
+// maxXferBeats bounds the precomputed transfer table; the payloads this
+// simulator moves (64-byte lines, 72-byte tag+data units) never exceed it.
+const maxXferBeats = 32
 
 // New builds a device from cfg, with time measured in CPU cycles
 // (cyclesPerNS = CPU GHz). It panics on an invalid configuration, which is
@@ -279,6 +410,17 @@ func New(cfg Config, cyclesPerNS float64) *Device {
 		tRAS:        toCycles(cfg.TRAS, cyclesPerNS),
 		tWR:         toCycles(cfg.TWR, cyclesPerNS),
 		channels:    make([]channel, cfg.Channels),
+	}
+	d.xferPer = cfg.BeatBytes + cfg.ECCSidecarBytes
+	for b := 0; b <= maxXferBeats; b++ {
+		d.xferByBeats[b] = toCycles(float64(b)*cfg.BeatNS, cyclesPerNS)
+	}
+	d.xferByBytes = make([]int64, 2*memtypes.LineSize+1)
+	for n := range d.xferByBytes {
+		d.xferByBytes[n] = d.transferCyclesSlow(n)
+	}
+	if cfg.WriteDrainWays > 0 {
+		d.drainFloor = d.tWR / int64(cfg.WriteDrainWays)
 	}
 	depth := cfg.WriteQueueDepth
 	if depth <= 0 {
@@ -343,8 +485,19 @@ func (d *Device) RegisterMetrics(r *metrics.Registry, prefix string) {
 // an ECC sidecar, each beat moves BeatBytes+ECCSidecarBytes, so
 // tags-with-data units ride free alongside their data.
 func (d *Device) transferCycles(bytes int) int64 {
-	per := d.cfg.BeatBytes + d.cfg.ECCSidecarBytes
-	beats := (bytes + per - 1) / per
+	if uint(bytes) < uint(len(d.xferByBytes)) {
+		return d.xferByBytes[bytes]
+	}
+	return d.transferCyclesSlow(bytes)
+}
+
+// transferCyclesSlow computes the occupancy from first principles; it
+// fills xferByBytes at construction and serves oversized payloads.
+func (d *Device) transferCyclesSlow(bytes int) int64 {
+	beats := (bytes + d.xferPer - 1) / d.xferPer
+	if beats <= maxXferBeats {
+		return d.xferByBeats[beats]
+	}
 	return toCycles(float64(beats)*d.cfg.BeatNS, d.cyclesPerNS)
 }
 
@@ -353,10 +506,8 @@ func (d *Device) transferCycles(bytes int) int64 {
 // queue drains into, whichever is slower.
 func (d *Device) writeOcc(bytes int) int64 {
 	occ := d.transferCycles(bytes)
-	if d.cfg.WriteDrainWays > 0 {
-		if drain := d.tWR / int64(d.cfg.WriteDrainWays); drain > occ {
-			occ = drain
-		}
+	if d.drainFloor > occ {
+		occ = d.drainFloor
 	}
 	return occ
 }
@@ -373,8 +524,17 @@ func (d *Device) writeOcc(bytes int) int64 {
 // visible to reads. The write-recovery cost (tWR, dominant for PCM) is
 // part of each write's drain occupancy via WriteDrainWays.
 func (d *Device) Access(at int64, loc Loc, kind memtypes.Kind, bytes int) Result {
-	ch := &d.channels[loc.Channel%d.cfg.Channels]
-	bk := &ch.banks[loc.Bank%d.cfg.BanksPerChannel]
+	// Mapper-produced locations are already in range, so the reducing mod
+	// (kept for arbitrary callers) almost never pays for a division.
+	chIdx, bkIdx := loc.Channel, loc.Bank
+	if chIdx >= d.cfg.Channels {
+		chIdx %= d.cfg.Channels
+	}
+	if bkIdx >= d.cfg.BanksPerChannel {
+		bkIdx %= d.cfg.BanksPerChannel
+	}
+	ch := &d.channels[chIdx]
+	bk := &ch.banks[bkIdx]
 
 	if kind == memtypes.Write {
 		occ := d.writeOcc(bytes)

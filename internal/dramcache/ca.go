@@ -27,6 +27,8 @@ type CACache struct {
 
 	unitsPerRow    int
 	nvmUnitsPerRow int
+	mapper         dram.Mapper // precomputed MapUnit for the cache device
+	nvmMapper      dram.Mapper // precomputed MapUnit for the backing NVM
 
 	stats Stats
 }
@@ -59,6 +61,8 @@ func NewCA(capacityBytes int64, dev, nvm *dram.Device) *CACache {
 		dirty:          make([]bool, sets),
 		unitsPerRow:    upr,
 		nvmUnitsPerRow: nvmUPR,
+		mapper:         dev.Config().NewMapper(upr),
+		nvmMapper:      nvm.Config().NewMapper(nvmUPR),
 	}
 }
 
@@ -78,11 +82,11 @@ func (c *CACache) primary(line memtypes.LineAddr) uint64 { return uint64(line) &
 func (c *CACache) rehash(idx uint64) uint64              { return idx ^ c.flipBit }
 
 func (c *CACache) loc(idx uint64) dram.Loc {
-	return c.dev.Config().MapUnit(idx, c.unitsPerRow)
+	return c.mapper.Map(idx)
 }
 
 func (c *CACache) nvmLoc(line memtypes.LineAddr) dram.Loc {
-	return c.nvm.Config().MapUnit(uint64(line), c.nvmUnitsPerRow)
+	return c.nvmMapper.Map(uint64(line))
 }
 
 func (c *CACache) probe(at int64, idx uint64) int64 {

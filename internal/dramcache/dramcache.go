@@ -280,17 +280,19 @@ type Cache struct {
 	policy core.Policy
 
 	sets     uint64
+	setMask  uint64
 	setShift uint
 	ways     int
 
-	tags  []uint64
-	valid []bool
-	dirty []bool
+	// meta fuses the per-way tag, valid, and dirty state that findWay
+	// scans on every access into one 16-byte record, so a whole 2-way set
+	// fits in half a host cache line instead of spanning three arrays.
+	meta  []wayMeta
 	lru   []uint64 // replacement stamps, used only with LRUReplacement
 	clock uint64
 
-	unitsPerRow    int // sets per DRAM row
-	nvmUnitsPerRow int // lines per NVM row
+	devMap dram.Mapper // set -> device row (sets per DRAM row precomputed)
+	nvmMap dram.Mapper // line -> NVM row
 
 	stats   Stats
 	candBuf []int
@@ -320,13 +322,12 @@ func New(cfg Config, policy core.Policy, dev, nvm *dram.Device) *Cache {
 		nvm:            nvm,
 		policy:         policy,
 		sets:           sets,
+		setMask:        sets - 1,
 		setShift:       log2(sets),
 		ways:           cfg.Ways,
-		tags:           make([]uint64, n),
-		valid:          make([]bool, n),
-		dirty:          make([]bool, n),
-		unitsPerRow:    upr,
-		nvmUnitsPerRow: nvmUPR,
+		meta:           make([]wayMeta, n),
+		devMap:         dev.Config().NewMapper(upr),
+		nvmMap:         nvm.Config().NewMapper(nvmUPR),
 		candBuf:        make([]int, 0, cfg.Ways),
 		probes:         make([]int, 0, cfg.Ways),
 	}
@@ -369,8 +370,16 @@ func (c *Cache) NumSets() uint64 { return c.sets }
 // Policy returns the attached way policy.
 func (c *Cache) Policy() core.Policy { return c.policy }
 
+// wayMeta is the per-way tag store the simulator keeps in host memory
+// (the modeled machine keeps it in the DRAM array itself).
+type wayMeta struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
 func (c *Cache) index(line memtypes.LineAddr) (set, tag uint64) {
-	return uint64(line) & (c.sets - 1), uint64(line) >> c.setShift
+	return uint64(line) & c.setMask, uint64(line) >> c.setShift
 }
 
 func (c *Cache) slot(set uint64, way int) int { return int(set)*c.ways + way }
@@ -382,8 +391,9 @@ func (c *Cache) lineOf(set, tag uint64) memtypes.LineAddr {
 // findWay returns the way holding (set, tag), or -1.
 func (c *Cache) findWay(set, tag uint64) int {
 	base := int(set) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == tag {
+	ways := c.meta[base : base+c.ways]
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
 			return w
 		}
 	}
@@ -399,23 +409,25 @@ func (c *Cache) Contains(line memtypes.LineAddr) (way int, ok bool) {
 
 // loc maps a set to its device row (all ways co-located, Figure 2b).
 func (c *Cache) loc(set uint64) dram.Loc {
-	return c.dev.Config().MapUnit(set, c.unitsPerRow)
+	return c.devMap.Map(set)
 }
 
 func (c *Cache) nvmLoc(line memtypes.LineAddr) dram.Loc {
-	return c.nvm.Config().MapUnit(uint64(line), c.nvmUnitsPerRow)
+	return c.nvmMap.Map(uint64(line))
 }
 
-// probeRead streams one 72-byte tag+data unit for (set, way).
-func (c *Cache) probeRead(at int64, set uint64) int64 {
+// probeRead streams one 72-byte tag+data unit from the set's row; callers
+// compute the set's Loc once per access and reuse it across probes.
+func (c *Cache) probeRead(at int64, loc dram.Loc) int64 {
 	c.stats.ProbeReads++
-	return c.dev.Access(at, c.loc(set), memtypes.Read, memtypes.TagUnitSize).DataAt
+	return c.dev.Access(at, loc, memtypes.Read, memtypes.TagUnitSize).DataAt
 }
 
 // AccessRead services a demand read that missed the SRAM hierarchy.
 func (c *Cache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
 	set, tag := c.index(line)
 	region := line.Region()
+	loc := c.devMap.Map(set) // one mapping per access, shared by every probe
 	actual := c.findWay(set, tag)
 	hit := actual >= 0
 	c.stats.Reads++
@@ -434,7 +446,7 @@ func (c *Cache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
 	case LookupIdealized:
 		// Oracle: one probe no matter what, and the oracle's probe is
 		// assumed to cover the victim (1-way install cost, Figure 1c).
-		done = c.probeRead(at, set)
+		done = c.probeRead(at, loc)
 		confirmedAt = done
 		missKnownAt = done
 		if actual >= 0 {
@@ -446,19 +458,19 @@ func (c *Cache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
 	case LookupParallel:
 		cands := c.policy.CandidateWays(tag, c.candBuf)
 		firstProbe = cands[0]
-		done, confirmedAt = c.probeBurst(at, set, cands, actual)
+		done, confirmedAt = c.probeBurst(at, loc, cands, actual)
 		missKnownAt = confirmedAt
 
 	case LookupSerial:
 		cands := c.policy.CandidateWays(tag, c.candBuf)
 		firstProbe = cands[0]
 		var first int64
-		done, confirmedAt, first = c.probeSerial(at, set, cands, actual)
+		done, confirmedAt, first = c.probeSerial(at, loc, cands, actual)
 		missKnownAt = first
 
 	case LookupPerfect:
 		if hit {
-			done = c.probeRead(at, set)
+			done = c.probeRead(at, loc)
 			confirmedAt = done
 			missKnownAt = done
 			firstProbe = actual
@@ -468,10 +480,10 @@ func (c *Cache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
 			// confirm it in the background (Table I: N transfers).
 			cands := c.policy.CandidateWays(tag, c.candBuf)
 			firstProbe = cands[0]
-			first := c.probeRead(at, set)
+			first := c.probeRead(at, loc)
 			missKnownAt = first
 			if len(cands) > 1 {
-				_, confirmedAt = c.probeBurst(first, set, cands[1:], actual)
+				_, confirmedAt = c.probeBurst(first, loc, cands[1:], actual)
 			} else {
 				confirmedAt = first
 			}
@@ -496,14 +508,14 @@ func (c *Cache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
 			done = at
 			firstProbe = -1
 		} else {
-			first := c.probeRead(at, set)
+			first := c.probeRead(at, loc)
 			missKnownAt = first
 			if pred == actual {
 				done, confirmedAt = first, first
 			} else {
 				// Mispredict (or miss): burst the remaining candidates.
 				rest := c.remainingCandidates(tag, pred)
-				done, confirmedAt = c.probeBurst(first, set, rest, actual)
+				done, confirmedAt = c.probeBurst(first, loc, rest, actual)
 				if !hit || len(rest) == 0 {
 					done = confirmedAt
 				}
@@ -521,7 +533,7 @@ func (c *Cache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
 			// unit in DRAM (footnote 2's bandwidth tax).
 			c.lru[c.slot(set, actual)] = c.bump()
 			c.stats.ReplStateOps++
-			c.dev.Access(done, c.loc(set), memtypes.Write, memtypes.TagUnitSize)
+			c.dev.Access(done, loc, memtypes.Write, memtypes.TagUnitSize)
 		}
 		return ReadResult{
 			Done:          done,
@@ -543,7 +555,7 @@ func (c *Cache) AccessRead(at int64, line memtypes.LineAddr) ReadResult {
 	victimProbed := firstProbe >= 0
 	c.stats.NVMReads++
 	nvmDone := c.nvm.Access(missKnownAt, c.nvmLoc(line), memtypes.Read, memtypes.LineSize).DataAt
-	way := c.install(missKnownAt, set, tag, region, false, victimProbed)
+	way := c.install(missKnownAt, loc, set, tag, region, false, victimProbed)
 	if nvmDone < confirmedAt {
 		// Data cannot be released before every way has been ruled out (a
 		// later way could hold a newer dirty copy).
@@ -569,10 +581,10 @@ func (c *Cache) remainingCandidates(tag uint64, probed int) []int {
 // probeBurst issues probes for all ways at once; it returns the cycle the
 // target way's data arrives (max when there is no target) and the cycle
 // the full burst completes (miss confirmation).
-func (c *Cache) probeBurst(at int64, set uint64, ways []int, target int) (dataAt, allDone int64) {
+func (c *Cache) probeBurst(at int64, loc dram.Loc, ways []int, target int) (dataAt, allDone int64) {
 	dataAt, allDone = at, at
 	for _, w := range ways {
-		t := c.probeRead(at, set)
+		t := c.probeRead(at, loc)
 		if t > allDone {
 			allDone = t
 		}
@@ -588,11 +600,11 @@ func (c *Cache) probeBurst(at int64, set uint64, ways []int, target int) (dataAt
 
 // probeSerial issues dependent probes way by way, stopping at the target;
 // firstDone is the completion of the first probe (when a fill can launch).
-func (c *Cache) probeSerial(at int64, set uint64, ways []int, target int) (dataAt, allDone, firstDone int64) {
+func (c *Cache) probeSerial(at int64, loc dram.Loc, ways []int, target int) (dataAt, allDone, firstDone int64) {
 	t := at
 	firstDone = at
 	for i, w := range ways {
-		t = c.probeRead(t, set)
+		t = c.probeRead(t, loc)
 		if i == 0 {
 			firstDone = t
 		}
@@ -613,7 +625,7 @@ func (c *Cache) bump() uint64 {
 // victimProbed says whether the lookup already streamed the victim's data;
 // when it did not, the victim unit must be read before being overwritten.
 // It returns the chosen way.
-func (c *Cache) install(at int64, set, tag uint64, region memtypes.RegionID, dirty, victimProbed bool) int {
+func (c *Cache) install(at int64, loc dram.Loc, set, tag uint64, region memtypes.RegionID, dirty, victimProbed bool) int {
 	var way int
 	if c.cfg.LRUReplacement {
 		way = c.lruVictim(set, tag)
@@ -625,21 +637,20 @@ func (c *Cache) install(at int64, set, tag uint64, region memtypes.RegionID, dir
 		// Whether the slot even holds valid data is only discoverable by
 		// reading its tag+data unit from the DRAM array.
 		c.stats.VictimReads++
-		at = c.dev.Access(at, c.loc(set), memtypes.Read, memtypes.TagUnitSize).DataAt
+		at = c.dev.Access(at, loc, memtypes.Read, memtypes.TagUnitSize).DataAt
 	}
-	if c.valid[s] && c.dirty[s] {
-		victim := c.lineOf(set, c.tags[s])
+	m := &c.meta[s]
+	if m.valid && m.dirty {
+		victim := c.lineOf(set, m.tag)
 		c.stats.NVMWrites++
 		c.nvm.Access(at, c.nvmLoc(victim), memtypes.Write, memtypes.LineSize)
 	}
-	c.tags[s] = tag
-	c.valid[s] = true
-	c.dirty[s] = dirty
+	*m = wayMeta{tag: tag, valid: true, dirty: dirty}
 	if c.cfg.LRUReplacement {
 		c.lru[s] = c.bump()
 	}
 	c.stats.InstallWrites++
-	c.dev.Access(at, c.loc(set), memtypes.Write, memtypes.TagUnitSize)
+	c.dev.Access(at, loc, memtypes.Write, memtypes.TagUnitSize)
 	c.policy.ObserveInstall(set, tag, region, way)
 	return way
 }
@@ -663,12 +674,13 @@ func (c *Cache) lruVictim(set, tag uint64) int {
 func (c *Cache) Writeback(at int64, line memtypes.LineAddr) int64 {
 	set, tag := c.index(line)
 	region := line.Region()
+	loc := c.devMap.Map(set)
 	c.stats.Writebacks++
 	if way := c.findWay(set, tag); way >= 0 {
 		c.stats.WritebackHits++
-		c.dirty[c.slot(set, way)] = true
+		c.meta[c.slot(set, way)].dirty = true
 		c.stats.WritebackWrites++
-		res := c.dev.Access(at, c.loc(set), memtypes.Write, memtypes.TagUnitSize)
+		res := c.dev.Access(at, loc, memtypes.Write, memtypes.TagUnitSize)
 		if c.cfg.LRUReplacement {
 			c.lru[c.slot(set, way)] = c.bump()
 		}
@@ -677,7 +689,7 @@ func (c *Cache) Writeback(at int64, line memtypes.LineAddr) int64 {
 	// Absent: write-allocate. The victim unit must be read before it is
 	// overwritten (its tag and dirty state live in DRAM), which install
 	// accounts for via victimProbed=false.
-	c.install(at, set, tag, region, true, false)
+	c.install(at, loc, set, tag, region, true, false)
 	return at
 }
 
@@ -686,26 +698,29 @@ func (c *Cache) Writeback(at int64, line memtypes.LineAddr) int64 {
 // operation sequences.
 func (c *Cache) CheckInvariants() error {
 	buf := make([]int, 0, c.ways)
+	seen := make([]uint64, 0, c.ways) // reused across sets; no per-set map
 	for set := uint64(0); set < c.sets; set++ {
-		seen := make(map[uint64]bool, c.ways)
+		seen = seen[:0]
 		for w := 0; w < c.ways; w++ {
-			s := c.slot(set, w)
-			if !c.valid[s] {
+			m := &c.meta[c.slot(set, w)]
+			if !m.valid {
 				continue
 			}
-			if seen[c.tags[s]] {
-				return fmt.Errorf("dramcache: duplicate tag %#x in set %d", c.tags[s], set)
+			for _, t := range seen {
+				if t == m.tag {
+					return fmt.Errorf("dramcache: duplicate tag %#x in set %d", m.tag, set)
+				}
 			}
-			seen[c.tags[s]] = true
+			seen = append(seen, m.tag)
 			ok := false
-			for _, cw := range c.policy.CandidateWays(c.tags[s], buf) {
+			for _, cw := range c.policy.CandidateWays(m.tag, buf) {
 				if cw == w {
 					ok = true
 					break
 				}
 			}
 			if !ok {
-				return fmt.Errorf("dramcache: tag %#x in non-candidate way %d of set %d", c.tags[s], w, set)
+				return fmt.Errorf("dramcache: tag %#x in non-candidate way %d of set %d", m.tag, w, set)
 			}
 		}
 	}

@@ -226,6 +226,24 @@ func (s *Session) progress(worker int, cfg, workload string, r sim.Result, took 
 		worker, cfg, workload, r.HitRate(), r.MeanIPC(), took.Seconds())
 }
 
+// TotalEvents returns the total memory events and retired instructions
+// simulated across every completed design point in the session — the
+// numerators for the events/second throughput summary. In-flight runs
+// are skipped rather than waited for.
+func (s *Session) TotalEvents() (events, instructions int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.memo {
+		select {
+		case <-e.done:
+			events += e.res.Events
+			instructions += e.res.InstructionsTotal
+		default:
+		}
+	}
+	return events, instructions
+}
+
 // memoSize returns the number of memoized design points (for tests).
 func (s *Session) memoSize() int {
 	s.mu.Lock()

@@ -160,6 +160,14 @@ type Result struct {
 	Cycles int64
 	// Instructions is the total measured instruction count.
 	Instructions int64
+	// Events is the total number of memory events simulated across all
+	// cores, warmup included — the numerator for simulator-throughput
+	// (events/second) reporting.
+	Events int64
+	// InstructionsTotal is the total instructions retired across all
+	// cores including warmup (Instructions covers only the measured
+	// window), for instructions-per-wall-second reporting.
+	InstructionsTotal int64
 
 	// Metrics is the run's observability bundle: the final snapshot of
 	// every metric the system's components registered, plus the
@@ -447,6 +455,11 @@ func (s *System) Run(wlName string) Result {
 		}
 		res.Instructions += instr
 	}
+	for _, c := range s.cores {
+		reads, writes, _, _ := c.Counters()
+		res.Events += int64(reads + writes)
+		res.InstructionsTotal += c.Instructions()
+	}
 	// Final snapshot: taken after the measured IPCs are recorded so the
 	// summary gauges agree with the Result fields to the last bit.
 	s.resIPC = res.IPC
@@ -481,6 +494,7 @@ func (s *System) advanceUntil(targets []int64) []finishPoint {
 		finish[i], done[i], caps[i] = finishPoint{}, false, 0
 	}
 	remaining := 0
+	doneCount := 0
 	for i, c := range s.cores {
 		// A finished core may keep generating load for up to 4 extra
 		// budgets before it freezes (bounding simulation cost when core
@@ -488,6 +502,7 @@ func (s *System) advanceUntil(targets []int64) []finishPoint {
 		caps[i] = targets[i] + 4*(targets[i]-c.Instructions())
 		if c.Instructions() >= targets[i] {
 			done[i] = true
+			doneCount++
 			finish[i] = finishPoint{cycles: c.WindowCycles(), instr: c.WindowInstructions()}
 		} else {
 			remaining++
@@ -495,31 +510,60 @@ func (s *System) advanceUntil(targets []int64) []finishPoint {
 	}
 	for remaining > 0 {
 		// Advance the core with the smallest local time; with 16 cores a
-		// linear scan beats a heap.
-		min := -1
-		var minTime int64 = math.MaxInt64
+		// linear scan beats a heap. Track the runner-up too: stepping the
+		// leader leaves every other clock unchanged, so the leader stays
+		// the unique minimum — and keeps stepping without a rescan — until
+		// its clock reaches the runner-up's (ties resolve to the lower
+		// index, exactly as the scan would).
+		min, sec := -1, -1
+		var minTime, secTime int64 = math.MaxInt64, math.MaxInt64
 		for i, c := range s.cores {
-			if !done[i] && c.Time() < minTime {
-				min, minTime = i, c.Time()
+			if done[i] {
+				continue
+			}
+			if t := c.Time(); t < minTime {
+				sec, secTime = min, minTime
+				min, minTime = i, t
+			} else if t < secTime {
+				sec, secTime = i, t
 			}
 		}
 		// Let already-finished cores keep pace so they keep generating
-		// memory pressure while slower cores are measured.
-		for i, c := range s.cores {
-			if done[i] {
-				for c.Time() < minTime && c.Instructions() < caps[i] {
-					c.Step()
+		// memory pressure while slower cores are measured. Until the first
+		// core finishes — the bulk of every run — this scan is a no-op, so
+		// skip it entirely.
+		if doneCount > 0 {
+			for i, c := range s.cores {
+				if done[i] {
+					for c.Time() < minTime && c.Instructions() < caps[i] {
+						c.Step()
+					}
 				}
 			}
 		}
 		c := s.cores[min]
-		c.Step()
-		if c.Instructions() >= targets[min] {
-			done[min] = true
-			finish[min] = finishPoint{cycles: c.WindowCycles(), instr: c.WindowInstructions()}
-			remaining--
+		for {
+			c.Step()
+			if c.Instructions() >= targets[min] {
+				done[min] = true
+				doneCount++
+				finish[min] = finishPoint{cycles: c.WindowCycles(), instr: c.WindowInstructions()}
+				remaining--
+				break
+			}
+			if s.series != nil {
+				s.sampleTick()
+			}
+			// Batching is only safe while the finished-core pacing loop
+			// above is a guaranteed no-op.
+			if doneCount > 0 {
+				break
+			}
+			if t := c.Time(); t > secTime || (t == secTime && min > sec) {
+				break
+			}
 		}
-		if s.series != nil {
+		if s.series != nil && done[min] {
 			s.sampleTick()
 		}
 	}

@@ -7,8 +7,8 @@
 package vm
 
 import (
+	"accord/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"accord/internal/memtypes"
 )
@@ -43,7 +43,7 @@ func (p AllocPolicy) String() string {
 type System struct {
 	numFrames uint64
 	policy    AllocPolicy
-	rng       *rand.Rand
+	rng       *xrand.Rand
 
 	used      []bool
 	usedCount uint64
@@ -52,10 +52,14 @@ type System struct {
 	spaces []*Space
 }
 
-// Space is one core's (or process's) page table.
+// Space is one core's (or process's) page table: a demand-grown
+// two-level radix structure (see radix.go) fronted by a small MRU cache
+// of recently used leaves.
 type Space struct {
-	sys *System
-	pt  map[memtypes.PageNum]memtypes.PageNum
+	sys    *System
+	mru    [mruWays]*ptLeaf
+	dir    *ptDir
+	mapped int
 }
 
 // NewSystem creates a VM system managing numFrames physical frames. seed
@@ -67,7 +71,7 @@ func NewSystem(numFrames uint64, policy AllocPolicy, seed int64) *System {
 	return &System{
 		numFrames: numFrames,
 		policy:    policy,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       xrand.New(seed),
 		used:      make([]bool, numFrames),
 	}
 }
@@ -80,7 +84,7 @@ func (s *System) AllocatedFrames() uint64 { return s.usedCount }
 
 // NewSpace creates an address space backed by this system.
 func (s *System) NewSpace() *Space {
-	sp := &Space{sys: s, pt: make(map[memtypes.PageNum]memtypes.PageNum)}
+	sp := &Space{sys: s, dir: newPTDir()}
 	s.spaces = append(s.spaces, sp)
 	return sp
 }
@@ -120,12 +124,7 @@ func (s *System) allocFrame() memtypes.PageNum {
 // TranslateLine translates a virtual line address to a physical line
 // address, allocating a frame on first touch of the page.
 func (sp *Space) TranslateLine(vl memtypes.LineAddr) memtypes.LineAddr {
-	vp := vl.Page()
-	frame, ok := sp.pt[vp]
-	if !ok {
-		frame = sp.sys.allocFrame()
-		sp.pt[vp] = frame
-	}
+	frame := sp.translatePage(vl.Page())
 	return frame.Line(vl.PageOffset())
 }
 
@@ -136,9 +135,9 @@ func (sp *Space) Translate(va memtypes.Addr) memtypes.Addr {
 }
 
 // MappedPages returns the number of pages this space has touched.
-func (sp *Space) MappedPages() int { return len(sp.pt) }
+func (sp *Space) MappedPages() int { return sp.mapped }
 
 // FootprintBytes returns the physical memory this space occupies.
 func (sp *Space) FootprintBytes() int64 {
-	return int64(len(sp.pt)) * memtypes.PageSize
+	return int64(sp.mapped) * memtypes.PageSize
 }

@@ -13,8 +13,8 @@
 package workloads
 
 import (
+	"accord/internal/xrand"
 	"fmt"
-	"math/rand"
 
 	"accord/internal/memtypes"
 )
@@ -102,11 +102,12 @@ type componentState struct {
 
 // generator implements Stream for a Spec.
 type generator struct {
-	spec    Spec
-	rng     *rand.Rand
-	meanGap float64
-	cum     []float64 // cumulative component weights
-	comps   []componentState
+	spec     Spec
+	rng      *xrand.Rand
+	meanGap  float64
+	cum      []float64 // cumulative component weights
+	cumTotal float64   // cum[len(cum)-1], hoisted off the per-event path
+	comps    []componentState
 }
 
 // gcd returns the greatest common divisor of a and b.
@@ -130,7 +131,7 @@ func NewStream(spec Spec, cacheLines uint64, cores int, seed int64) Stream {
 	}
 	g := &generator{
 		spec:    spec,
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     xrand.New(seed),
 		meanGap: 1000 / spec.MPKI,
 	}
 	total := 0.0
@@ -148,6 +149,10 @@ func NewStream(spec Spec, cacheLines uint64, cores int, seed int64) Stream {
 			for gcd(stride, lines) != 1 {
 				stride++
 			}
+			// Reduce into [0, lines) so Next can advance the cursor with
+			// a conditional subtract instead of a divide; (pos+stride)
+			// mod lines is unchanged by reducing stride mod lines.
+			stride %= lines
 		}
 		g.comps = append(g.comps, componentState{
 			// Each component roams a disjoint virtual arena.
@@ -157,6 +162,7 @@ func NewStream(spec Spec, cacheLines uint64, cores int, seed int64) Stream {
 			pos:    uint64(g.rng.Int63()) % lines,
 		})
 	}
+	g.cumTotal = g.cum[len(g.cum)-1]
 	return g
 }
 
@@ -171,9 +177,10 @@ func (g *generator) Next(ev *Event) {
 	ev.Gap = int32(gap)
 
 	// Pick a component by weight.
-	x := g.rng.Float64() * g.cum[len(g.cum)-1]
+	x := g.rng.Float64() * g.cumTotal
+	cum := g.cum
 	ci := 0
-	for ci < len(g.cum)-1 && x > g.cum[ci] {
+	for ci < len(cum)-1 && x > cum[ci] {
 		ci++
 	}
 	c := &g.comps[ci]
@@ -182,8 +189,14 @@ func (g *generator) Next(ev *Event) {
 	if c.stride == 0 {
 		off = uint64(g.rng.Int63()) % c.lines
 	} else {
-		c.pos = (c.pos + c.stride) % c.lines
-		off = c.pos
+		// stride and pos are both < lines, so one conditional subtract
+		// replaces the modulo.
+		p := c.pos + c.stride
+		if p >= c.lines {
+			p -= c.lines
+		}
+		c.pos = p
+		off = p
 	}
 	ev.Line = c.base + memtypes.LineAddr(off)
 	ev.Write = g.rng.Float64() < g.spec.WriteFrac
