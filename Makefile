@@ -7,11 +7,16 @@ GO ?= go
 # Benchmark-trajectory settings: the paper-artifact suite, run -count
 # times and reduced to medians by cmd/benchjson. BENCH_JSON is the
 # committed trajectory file CI compares fresh runs against.
-BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl
+BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl|BenchmarkCkpt
 BENCH_COUNT   ?= 3
-BENCH_JSON    ?= BENCH_PR3.json
+BENCH_JSON    ?= BENCH_PR4.json
 
-.PHONY: all build test race vet bench-smoke bench-json bench-compare profile verify
+# Warm-state checkpoint store settings: `make checkpoints` populates
+# CKPT_DIR with checkpoints for the golden-suite configurations, so test
+# runs with ACCORD_CHECKPOINT_DIR pointing there skip their warmup.
+CKPT_DIR ?= .ckpt
+
+.PHONY: all build test race vet bench-smoke bench-json bench-compare checkpoints profile verify
 
 all: verify
 
@@ -49,6 +54,20 @@ bench-compare:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count $(BENCH_COUNT) -timeout 3600s . \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_current.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) /tmp/bench_current.json
+
+# Populate CKPT_DIR with warm-state checkpoints for the golden-suite
+# configurations (the three architectures at the pinned golden scale).
+# The store is content-addressed by a digest over every warmup-affecting
+# parameter, so stale entries are never wrongly reused — invalidation is
+# automatic and re-running this target after a behavior change simply
+# writes new keys.
+checkpoints:
+	@for org in direct accord ca; do \
+		$(GO) run ./cmd/accordsim -workload libquantum -org $$org -ways 2 \
+			-scale 8192 -cores 4 -warmup 50000 -measure 50000 -seed 1 \
+			-checkpoint-dir $(CKPT_DIR) >/dev/null || exit 1; \
+	done
+	@echo "checkpoint store populated in $(CKPT_DIR)"
 
 # Profile the simulation kernel end to end: accordbench already carries
 # -cpuprofile/-memprofile flags; this wraps them with a representative

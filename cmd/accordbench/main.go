@@ -51,6 +51,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "log each simulation as it completes")
 		metricsOut = flag.String("metrics-out", "", "write structured metrics for every simulation to this file (.csv for CSV + manifest sidecar, otherwise JSON)")
 		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshots only)")
+		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: skip warmup for design points with a stored checkpoint, populate it for the rest")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -90,6 +91,7 @@ func main() {
 	}
 	p.Seed = *seed
 	p.Parallelism = *parallel
+	p.CheckpointDir = *ckptDir
 	if *verbose {
 		p.Progress = os.Stderr
 	}

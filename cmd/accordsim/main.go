@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"accord/internal/ckpt"
 	"accord/internal/energy"
 	"accord/internal/metrics"
 	"accord/internal/sim"
@@ -39,9 +40,16 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of a table")
 		metricsOut = flag.String("metrics-out", "", "write structured metrics to this file (.csv for CSV + manifest sidecar, otherwise JSON)")
 		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshot only)")
+		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: restore the warmup/measure boundary when a matching checkpoint exists, populate it otherwise (ignored with -trace)")
+		ckptSchema = flag.Bool("ckpt-schema", false, "print the checkpoint schema ID (for cache keys) and exit")
 		list       = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
+
+	if *ckptSchema {
+		fmt.Println(sim.SnapshotSchemaID())
+		return
+	}
 
 	if *list {
 		fmt.Println("rate-mode workloads:")
@@ -78,8 +86,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Trace streams are shared, stateful FixedStreams; a failed restore
+	// could leave them half-mutated, so checkpointing is gated off.
+	store := openStore(*ckptDir, *trace != "")
+
 	man := metrics.NewManifest("accordsim", flagConfig(), cfg.Seed)
-	res := sim.New(cfg, wl).Run(wl.Name)
+	res, restored := sim.RunWithStore(cfg, wl, store, wl.Name)
+	if restored {
+		fmt.Fprintf(os.Stderr, "accordsim: restored warm state from %s\n", *ckptDir)
+	}
 	if *metricsOut != "" {
 		ex := &metrics.Export{
 			Manifest: man.Finish(),
@@ -122,10 +137,25 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		bres := sim.New(base, wl).Run(wl.Name)
+		bres, _ := sim.RunWithStore(base, wl, store, wl.Name)
 		fmt.Printf("\nbaseline (direct-mapped) mean IPC: %.4f\n", bres.MeanIPC())
 		fmt.Printf("weighted speedup:                  %.4f\n", sim.WeightedSpeedup(res, bres))
 	}
+}
+
+// openStore opens the checkpoint store, or returns nil when disabled.
+// Store problems are warnings, never failures: checkpointing only
+// accelerates runs, it cannot be a correctness dependency.
+func openStore(dir string, traceMode bool) *ckpt.Store {
+	if dir == "" || traceMode {
+		return nil
+	}
+	store, err := ckpt.Open(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "accordsim: checkpoint store disabled: %v\n", err)
+		return nil
+	}
+	return store
 }
 
 // epochInstr resolves the -epoch flag: an explicit non-negative value

@@ -1,0 +1,92 @@
+package cache
+
+import "accord/internal/ckpt"
+
+// Per-component version bytes; bump on any encoding change.
+const (
+	sramCacheVersion = 1
+	hierarchyVersion = 1
+)
+
+// Snapshot serializes the cache's line array, LRU clock, and statistics.
+func (c *Cache) Snapshot(e *ckpt.Encoder) {
+	e.U8(sramCacheVersion)
+	e.U64(c.clock)
+	for i := range c.lines {
+		l := &c.lines[i]
+		e.U64(l.tag)
+		e.U64(l.used)
+		var flags uint8
+		if l.valid {
+			flags |= 1
+		}
+		if l.dirty {
+			flags |= 2
+		}
+		if l.dcp.Present {
+			flags |= 4
+		}
+		e.U8(flags)
+		e.U8(l.dcp.Way)
+	}
+	e.U64(c.stats.Hits)
+	e.U64(c.stats.Misses)
+	e.U64(c.stats.Writebacks)
+	e.U64(c.stats.Fills)
+}
+
+// Restore replaces the cache's state with a snapshot.
+func (c *Cache) Restore(d *ckpt.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != sramCacheVersion {
+		d.Failf("cache: snapshot version %d, want %d", v, sramCacheVersion)
+	}
+	c.clock = d.U64()
+	for i := range c.lines {
+		tag := d.U64()
+		used := d.U64()
+		flags := d.U8()
+		way := d.U8()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if flags > 7 {
+			d.Failf("cache: line[%d] flags %#x invalid", i, flags)
+			return d.Err()
+		}
+		c.lines[i] = line{
+			tag:   tag,
+			used:  used,
+			dcp:   DCP{Present: flags&4 != 0, Way: way},
+			valid: flags&1 != 0,
+			dirty: flags&2 != 0,
+		}
+	}
+	c.stats.Hits = d.U64()
+	c.stats.Misses = d.U64()
+	c.stats.Writebacks = d.U64()
+	c.stats.Fills = d.U64()
+	return d.Err()
+}
+
+// Snapshot serializes the hierarchy's private levels. The shared L3 is
+// excluded: it belongs to every hierarchy at once, so the composing
+// system snapshots it exactly once.
+func (h *Hierarchy) Snapshot(e *ckpt.Encoder) {
+	e.U8(hierarchyVersion)
+	h.l1.Snapshot(e)
+	h.l2.Snapshot(e)
+}
+
+// Restore replaces the private L1/L2 state with a snapshot.
+func (h *Hierarchy) Restore(d *ckpt.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != hierarchyVersion {
+		d.Failf("cache: hierarchy snapshot version %d, want %d", v, hierarchyVersion)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := h.l1.Restore(d); err != nil {
+		return err
+	}
+	return h.l2.Restore(d)
+}

@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"testing"
+
+	"accord/internal/ckpt"
+	"accord/internal/memtypes"
+	"accord/internal/xrand"
+)
+
+func testCache() *Cache {
+	return New(Config{Name: "l2t", SizeBytes: 64 * memtypes.LineSize, Ways: 4, HitLatency: 3})
+}
+
+// churn drives a cache through a deterministic mixed access pattern.
+func churn(c *Cache, n int, seed int64) {
+	rng := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		l := memtypes.LineAddr(rng.Intn(256))
+		if c.Lookup(l, i%3 == 0) {
+			continue
+		}
+		c.Fill(l, i%5 == 0, DCP{Present: i%2 == 0, Way: uint8(i % 4)})
+	}
+}
+
+// TestCacheRoundTrip restores a churned cache into a fresh one and
+// requires identical subsequent behavior, stats, and DCP state.
+func TestCacheRoundTrip(t *testing.T) {
+	c := testCache()
+	churn(c, 10_000, 9)
+	e := ckpt.NewEncoder(0)
+	c.Snapshot(e)
+	blob := e.Finish()
+
+	fresh := testCache()
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(d); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := fresh.CheckInvariants(); err != nil {
+		t.Fatalf("restored cache violates invariants: %v", err)
+	}
+	if fresh.Stats() != c.Stats() {
+		t.Errorf("stats diverged: %+v != %+v", fresh.Stats(), c.Stats())
+	}
+	for l := memtypes.LineAddr(0); l < 256; l++ {
+		if c.Contains(l) != fresh.Contains(l) {
+			t.Fatalf("line %d presence diverged", l)
+		}
+		wd, wok := c.GetDCP(l)
+		gd, gok := fresh.GetDCP(l)
+		if wok != gok || wd != gd {
+			t.Fatalf("line %d DCP diverged", l)
+		}
+	}
+	// Continued identical churn must keep the two in lockstep (LRU clock
+	// and timestamps restored exactly).
+	churn(c, 5000, 31)
+	churn(fresh, 5000, 31)
+	if fresh.Stats() != c.Stats() {
+		t.Errorf("post-restore churn diverged: %+v != %+v", fresh.Stats(), c.Stats())
+	}
+}
+
+// TestCacheRestoreRejectsBadInput covers version bumps, flag bytes out of
+// range, and truncations.
+func TestCacheRestoreRejectsBadInput(t *testing.T) {
+	c := testCache()
+	churn(c, 1000, 2)
+	e := ckpt.NewEncoder(0)
+	c.Snapshot(e)
+	blob := e.Finish()
+	payload := blob[:len(blob)-4]
+
+	bad := append([]byte{payload[0] + 1}, payload[1:]...)
+	if err := testCache().Restore(ckpt.NewDecoder(bad)); err == nil {
+		t.Error("version-bumped snapshot accepted")
+	}
+	for n := 0; n < len(payload); n += 1 + n/8 {
+		if err := testCache().Restore(ckpt.NewDecoder(payload[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// TestHierarchyRoundTrip exercises the composed L1+L2 codec.
+func TestHierarchyRoundTrip(t *testing.T) {
+	cfg := DefaultHierarchy(1 << 20)
+	hiers, _ := NewSharedHierarchies(cfg, 2)
+	h := hiers[0]
+	rng := xrand.New(4)
+	for i := 0; i < 20_000; i++ {
+		h.Access(memtypes.LineAddr(rng.Intn(4096)), i%4 == 0)
+	}
+	e := ckpt.NewEncoder(0)
+	h.Snapshot(e)
+	blob := e.Finish()
+
+	fresh, _ := NewSharedHierarchies(cfg, 2)
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh[0].Restore(d); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after hierarchy restore", d.Remaining())
+	}
+
+	payload := blob[:len(blob)-4]
+	for n := 0; n < len(payload); n += 1 + n/8 {
+		f2, _ := NewSharedHierarchies(cfg, 2)
+		if err := f2[0].Restore(ckpt.NewDecoder(payload[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package ckpt provides the warm-state checkpoint substrate: a compact
+// binary codec every stateful component serializes itself through, and a
+// content-addressed on-disk store keyed by configuration digests.
+//
+// The codec is deliberately dumb — fixed-width little-endian fields, no
+// reflection, no per-field tags — because the checkpoint contract is
+// bit-identity, not schema evolution: a snapshot is only ever restored
+// into a system constructed from the exact same configuration (enforced
+// by the key digest and an embedded fingerprint), so both sides always
+// agree on the field sequence. Versioning happens at whole-component
+// granularity: each component writes a version byte and refuses to
+// restore any other version, and the sim-level schema constant
+// invalidates every stored checkpoint when any encoding changes.
+//
+// The Decoder is sticky-error and bounds-checked: feeding it truncated,
+// corrupted, or adversarial bytes produces a descriptive error, never a
+// panic or an allocation proportional to attacker-controlled lengths.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Encoder appends fixed-width binary fields to a growing buffer. The
+// zero value is not usable; construct with NewEncoder.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given capacity hint.
+func NewEncoder(capHint int) *Encoder {
+	if capHint < 64 {
+		capHint = 64
+	}
+	return &Encoder{buf: make([]byte, 0, capHint)}
+}
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends an int64 (two's complement, little-endian).
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Raw appends bytes verbatim, with no length prefix; the decoder must
+// know the exact count.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// String appends a uint32 length prefix followed by the bytes.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bools appends a bit-packed bool slice (no length prefix; the decoder
+// must know the count). Large boolean state (the VM frame bitmap) costs
+// one bit per entry instead of one byte.
+func (e *Encoder) Bools(v []bool) {
+	var acc uint8
+	var n uint
+	for _, b := range v {
+		if b {
+			acc |= 1 << n
+		}
+		if n++; n == 8 {
+			e.buf = append(e.buf, acc)
+			acc, n = 0, 0
+		}
+	}
+	if n > 0 {
+		e.buf = append(e.buf, acc)
+	}
+}
+
+// Finish appends a CRC-32C of everything encoded so far and returns the
+// complete blob. The encoder must not be used afterwards.
+func (e *Encoder) Finish() []byte {
+	crc := crc32.Checksum(e.buf, crcTable)
+	return binary.LittleEndian.AppendUint32(e.buf, crc)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decoder reads fields written by an Encoder. Errors are sticky: after
+// the first failure every read returns a zero value and Err reports the
+// original cause, so component Restore methods can decode a whole block
+// and check once. It never panics on malformed input.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps raw bytes (no checksum verification).
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// NewDecoderChecked verifies and strips the trailing CRC-32C appended by
+// Encoder.Finish, returning a decoder over the payload.
+func NewDecoderChecked(b []byte) (*Decoder, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("ckpt: blob of %d bytes is too short for a checksum", len(b))
+	}
+	payload, tail := b[:len(b)-4], b[len(b)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (%#08x != %#08x): corrupt or truncated blob", got, want)
+	}
+	return &Decoder{buf: payload}, nil
+}
+
+// Err returns the first decoding error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Failf records an error if none is set; later reads return zero values.
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.buf) - d.off
+}
+
+// need consumes n bytes, or sets the sticky error.
+func (d *Decoder) need(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf)-d.off < n {
+		d.Failf("ckpt: truncated input: need %d bytes at offset %d, have %d", n, d.off, len(d.buf)-d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.need(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a byte and requires it to be exactly 0 or 1.
+func (d *Decoder) Bool() bool {
+	v := d.U8()
+	if v > 1 {
+		d.Failf("ckpt: invalid bool byte %#x at offset %d", v, d.off-1)
+		return false
+	}
+	return v == 1
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.need(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Raw consumes exactly n bytes; the returned slice aliases the input.
+func (d *Decoder) Raw(n int) []byte { return d.need(n) }
+
+// String reads a length-prefixed string, bounded by the remaining input
+// so a corrupt length can never drive a huge allocation.
+func (d *Decoder) String() string {
+	n := int(d.U32())
+	if d.err != nil {
+		return ""
+	}
+	if n > len(d.buf)-d.off {
+		d.Failf("ckpt: string length %d exceeds %d remaining bytes", n, len(d.buf)-d.off)
+		return ""
+	}
+	return string(d.need(n))
+}
+
+// Len reads a uint32 count and requires it to be at most max, guarding
+// every slice restore against corrupt or adversarial sizes.
+func (d *Decoder) Len(max int) int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if int64(n) > int64(max) {
+		d.Failf("ckpt: count %d exceeds maximum %d", n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// Bools reads len(dst) bit-packed bools into dst.
+func (d *Decoder) Bools(dst []bool) {
+	nbytes := (len(dst) + 7) / 8
+	b := d.need(nbytes)
+	if b == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = b[i>>3]&(1<<(uint(i)&7)) != 0
+	}
+}

@@ -1,0 +1,173 @@
+package ckpt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.U8(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.U32(0xDEADBEEF)
+	e.U64(0x0123456789ABCDEF)
+	e.I64(-42)
+	e.Raw([]byte{1, 2, 3})
+	e.String("hello, checkpoint")
+	bits := []bool{true, false, false, true, true, true, false, true, false, true}
+	e.Bools(bits)
+	blob := e.Finish()
+
+	d, err := NewDecoderChecked(blob)
+	if err != nil {
+		t.Fatalf("NewDecoderChecked: %v", err)
+	}
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.Raw(3); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Raw = %v", got)
+	}
+	if got := d.String(); got != "hello, checkpoint" {
+		t.Errorf("String = %q", got)
+	}
+	back := make([]bool, len(bits))
+	d.Bools(back)
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Errorf("Bools[%d] = %v, want %v", i, back[i], bits[i])
+		}
+	}
+	if d.Err() != nil {
+		t.Fatalf("decode err: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder(0)
+	e.U64(1)
+	e.String("abc")
+	blob := e.Finish()
+	// Every proper prefix must fail loudly at some layer and never panic.
+	for n := 0; n < len(blob); n++ {
+		if _, err := NewDecoderChecked(blob[:n]); err != nil {
+			continue // checksum layer caught it
+		}
+		d := NewDecoder(blob[:n])
+		_ = d.U64()
+		_ = d.String()
+		if n < len(blob)-4 && d.Err() == nil {
+			t.Errorf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestDecoderCorruption(t *testing.T) {
+	e := NewEncoder(0)
+	for i := 0; i < 32; i++ {
+		e.U64(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	blob := e.Finish()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		c := append([]byte(nil), blob...)
+		c[rng.Intn(len(c))] ^= byte(1 + rng.Intn(255))
+		if _, err := NewDecoderChecked(c); err == nil {
+			t.Fatalf("trial %d: single-byte corruption not detected by checksum", trial)
+		}
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1})
+	d.U64() // fails: truncated
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Later reads return zero values and keep the original error.
+	if d.U32() != 0 || d.U8() != 0 || d.I64() != 0 || d.String() != "" || d.Raw(5) != nil {
+		t.Error("reads after error should return zero values")
+	}
+	if d.Err() != first {
+		t.Errorf("error was replaced: %v", d.Err())
+	}
+}
+
+func TestDecoderBoolStrict(t *testing.T) {
+	d := NewDecoder([]byte{2})
+	d.Bool()
+	if d.Err() == nil || !strings.Contains(d.Err().Error(), "invalid bool") {
+		t.Errorf("want invalid-bool error, got %v", d.Err())
+	}
+}
+
+func TestDecoderLenBound(t *testing.T) {
+	e := NewEncoder(0)
+	e.U32(1 << 30)
+	d := NewDecoder(e.buf)
+	if n := d.Len(1024); n != 0 || d.Err() == nil {
+		t.Errorf("Len(1024) on huge count: n=%d err=%v", n, d.Err())
+	}
+}
+
+func TestStringLenBound(t *testing.T) {
+	e := NewEncoder(0)
+	e.U32(1 << 31) // claims a 2 GiB string with no bytes behind it
+	d := NewDecoder(e.buf)
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Errorf("oversized string length accepted: %q err=%v", s, d.Err())
+	}
+}
+
+func TestCheckedTooShort(t *testing.T) {
+	for n := 0; n < 4; n++ {
+		if _, err := NewDecoderChecked(make([]byte, n)); err == nil {
+			t.Errorf("%d-byte blob accepted", n)
+		}
+	}
+}
+
+func TestBoolsRoundTripWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 1000} {
+		v := make([]bool, n)
+		for i := range v {
+			v[i] = rng.Intn(2) == 1
+		}
+		e := NewEncoder(0)
+		e.Bools(v)
+		d := NewDecoder(e.buf)
+		back := make([]bool, n)
+		d.Bools(back)
+		if d.Err() != nil {
+			t.Fatalf("n=%d: %v", n, d.Err())
+		}
+		for i := range v {
+			if back[i] != v[i] {
+				t.Fatalf("n=%d: bit %d differs", n, i)
+			}
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("n=%d: %d bytes left over", n, d.Remaining())
+		}
+	}
+}

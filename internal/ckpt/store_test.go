@@ -1,0 +1,93 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "0123456789abcdef"
+	if _, ok, err := s.Load(key); ok || err != nil {
+		t.Fatalf("Load on empty store: ok=%v err=%v", ok, err)
+	}
+	blob := []byte("warm state bytes")
+	if err := s.Save(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Errorf("Load = %q, want %q", got, blob)
+	}
+}
+
+func TestStoreRejectsBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.ckpt"), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load("deadbeef"); err == nil || ok {
+		t.Errorf("bad-magic file accepted: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStoreRejectsBadKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", `a\b`, "dotted.key"} {
+		if err := s.Save(key, nil); err == nil {
+			t.Errorf("Save(%q) accepted", key)
+		}
+		if _, _, err := s.Load(key); err == nil {
+			t.Errorf("Load(%q) accepted", key)
+		}
+	}
+}
+
+func TestStoreConcurrentSameKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte{0x5A}, 1<<16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := s.Save("cafef00d", blob); err != nil {
+					t.Errorf("Save: %v", err)
+					return
+				}
+				got, ok, err := s.Load("cafef00d")
+				if err != nil || !ok || !bytes.Equal(got, blob) {
+					t.Errorf("Load mid-write: ok=%v err=%v len=%d", ok, err, len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") accepted")
+	}
+}

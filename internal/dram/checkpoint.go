@@ -1,0 +1,111 @@
+package dram
+
+import "accord/internal/ckpt"
+
+// deviceVersion tags the Device encoding; bump on any layout change.
+const deviceVersion = 1
+
+// Snapshot serializes the device's timing state: statistics, per-channel
+// write backlog and busy-interval window, and per-bank row-buffer state.
+// The derived timing parameters and transfer LUTs are config-determined
+// and rebuilt by New, so they are not stored.
+func (d *Device) Snapshot(e *ckpt.Encoder) {
+	e.U8(deviceVersion)
+	e.U64(d.stats.Activates)
+	e.U64(d.stats.Reads)
+	e.U64(d.stats.Writes)
+	e.U64(d.stats.BytesRead)
+	e.U64(d.stats.BytesWritten)
+	e.U64(d.stats.RowHits)
+	e.U64(d.stats.RowMisses)
+	e.I64(d.stats.BusBusy)
+	e.I64(d.stats.ReadLatency)
+	e.I64(d.stats.BankWait)
+	e.I64(d.stats.BusWait)
+	e.U32(uint32(len(d.channels)))
+	for ci := range d.channels {
+		ch := &d.channels[ci]
+		e.I64(ch.writeBacklog)
+		e.U32(uint32(len(ch.busy)))
+		for _, iv := range ch.busy {
+			e.I64(iv.start)
+			e.I64(iv.end)
+		}
+		e.U32(uint32(len(ch.banks)))
+		for bi := range ch.banks {
+			b := &ch.banks[bi]
+			e.Bool(b.rowOpen)
+			e.U64(b.openRow)
+			e.I64(b.readyAt)
+			e.I64(b.actAt)
+		}
+	}
+}
+
+// Restore replaces the device's state with a snapshot. Busy intervals are
+// rebuilt into a fresh full-capacity backing buffer; reservation outcomes
+// depend only on the interval contents, not on where the sliding window
+// sat within the old buffer, so this is behaviorally identical.
+func (d *Device) Restore(dec *ckpt.Decoder) error {
+	if v := dec.U8(); dec.Err() == nil && v != deviceVersion {
+		dec.Failf("dram: snapshot version %d, want %d", v, deviceVersion)
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	d.stats.Activates = dec.U64()
+	d.stats.Reads = dec.U64()
+	d.stats.Writes = dec.U64()
+	d.stats.BytesRead = dec.U64()
+	d.stats.BytesWritten = dec.U64()
+	d.stats.RowHits = dec.U64()
+	d.stats.RowMisses = dec.U64()
+	d.stats.BusBusy = dec.I64()
+	d.stats.ReadLatency = dec.I64()
+	d.stats.BankWait = dec.I64()
+	d.stats.BusWait = dec.I64()
+	if n := dec.U32(); dec.Err() == nil && int(n) != len(d.channels) {
+		dec.Failf("dram: snapshot has %d channels, device has %d", n, len(d.channels))
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for ci := range d.channels {
+		ch := &d.channels[ci]
+		ch.writeBacklog = dec.I64()
+		// The live window holds at most maxBusyIntervals entries between
+		// accesses (appendBusy trims before returning).
+		n := dec.Len(maxBusyIntervals)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		ch.busyBuf = make([]busyIvl, busyBufCap)
+		ch.busy = ch.busyBuf[:n]
+		prevEnd := int64(-1 << 62)
+		for i := 0; i < n; i++ {
+			iv := busyIvl{start: dec.I64(), end: dec.I64()}
+			if dec.Err() == nil && (iv.end < iv.start || iv.start < prevEnd) {
+				dec.Failf("dram: busy interval %d [%d,%d) out of order", i, iv.start, iv.end)
+			}
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			ch.busy[i] = iv
+			prevEnd = iv.end
+		}
+		if bn := dec.U32(); dec.Err() == nil && int(bn) != len(ch.banks) {
+			dec.Failf("dram: snapshot has %d banks, channel has %d", bn, len(ch.banks))
+		}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		for bi := range ch.banks {
+			b := &ch.banks[bi]
+			b.rowOpen = dec.Bool()
+			b.openRow = dec.U64()
+			b.readyAt = dec.I64()
+			b.actAt = dec.I64()
+		}
+	}
+	return dec.Err()
+}

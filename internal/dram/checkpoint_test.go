@@ -1,0 +1,103 @@
+package dram
+
+import (
+	"testing"
+
+	"accord/internal/ckpt"
+	"accord/internal/memtypes"
+	"accord/internal/xrand"
+)
+
+func testDevice() *Device {
+	return New(HBM(), 3.2)
+}
+
+// drive issues a deterministic access pattern and returns the completion
+// cycles, which fold in row-buffer state, bank timing, bus contention,
+// and the write backlog.
+func drive(dev *Device, n int, seed int64) []int64 {
+	rng := xrand.New(seed)
+	cfg := dev.Config()
+	out := make([]int64, 0, n)
+	at := int64(0)
+	for i := 0; i < n; i++ {
+		at += int64(rng.Intn(40))
+		loc := Loc{
+			Channel: rng.Intn(cfg.Channels),
+			Bank:    rng.Intn(cfg.BanksPerChannel),
+			Row:     uint64(rng.Intn(32)),
+		}
+		kind := memtypes.Read
+		if i%4 == 0 {
+			kind = memtypes.Write
+		}
+		res := dev.Access(at, loc, kind, 64)
+		out = append(out, res.DataAt)
+	}
+	return out
+}
+
+// TestDeviceRoundTrip restores a busy device into a fresh one and
+// requires identical continued timing and stats.
+func TestDeviceRoundTrip(t *testing.T) {
+	dev := testDevice()
+	drive(dev, 20_000, 5)
+	e := ckpt.NewEncoder(0)
+	dev.Snapshot(e)
+	blob := e.Finish()
+
+	fresh := testDevice()
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(d); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after restore", d.Remaining())
+	}
+	if fresh.Stats() != dev.Stats() {
+		t.Errorf("stats diverged: %+v != %+v", fresh.Stats(), dev.Stats())
+	}
+	want := drive(dev, 5000, 13)
+	got := drive(fresh, 5000, 13)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("access %d completion diverged: %d != %d", i, want[i], got[i])
+		}
+	}
+	if fresh.Stats() != dev.Stats() {
+		t.Errorf("post-restore stats diverged: %+v != %+v", fresh.Stats(), dev.Stats())
+	}
+}
+
+// TestDeviceRestoreRejectsBadInput covers version bumps, channel-count
+// mismatches, and truncations.
+func TestDeviceRestoreRejectsBadInput(t *testing.T) {
+	dev := testDevice()
+	drive(dev, 2000, 1)
+	e := ckpt.NewEncoder(0)
+	dev.Snapshot(e)
+	blob := e.Finish()
+	payload := blob[:len(blob)-4]
+
+	bad := append([]byte{payload[0] + 1}, payload[1:]...)
+	if err := testDevice().Restore(ckpt.NewDecoder(bad)); err == nil {
+		t.Error("version-bumped snapshot accepted")
+	}
+	// A PCM snapshot (different channel count) must not restore into an
+	// HBM device.
+	pcm := New(PCM(), 3.2)
+	e2 := ckpt.NewEncoder(0)
+	pcm.Snapshot(e2)
+	b2 := e2.Finish()
+	if err := testDevice().Restore(ckpt.NewDecoder(b2[:len(b2)-4])); err == nil {
+		t.Error("channel-count mismatch accepted")
+	}
+	for n := 0; n < len(payload); n += 1 + n/16 {
+		if err := testDevice().Restore(ckpt.NewDecoder(payload[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}

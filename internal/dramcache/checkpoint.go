@@ -1,0 +1,177 @@
+package dramcache
+
+import (
+	"fmt"
+
+	"accord/internal/ckpt"
+	"accord/internal/core"
+	"accord/internal/memtypes"
+)
+
+// errNoPolicyCheckpoint reports a policy that cannot be serialized.
+func errNoPolicyCheckpoint(name string) error {
+	return fmt.Errorf("dramcache: policy %q does not support checkpointing", name)
+}
+
+// Per-component version bytes; bump on any encoding change.
+const (
+	cacheVersion = 1
+	caVersion    = 1
+)
+
+// snapshotStats writes every Stats field in declaration order.
+func snapshotStats(e *ckpt.Encoder, s *Stats) {
+	e.U64(s.Reads)
+	e.U64(s.ReadHits)
+	e.U64(s.Writebacks)
+	e.U64(s.WritebackHits)
+	e.U64(s.Predictions)
+	e.U64(s.Correct)
+	e.U64(s.ProbeReads)
+	e.U64(s.InstallWrites)
+	e.U64(s.WritebackWrites)
+	e.U64(s.VictimReads)
+	e.U64(s.ReplStateOps)
+	e.U64(s.NVMReads)
+	e.U64(s.NVMWrites)
+	e.U64(s.FilteredMisses)
+	snapshotLatency(e, &s.HitLatency)
+	snapshotLatency(e, &s.MissLatency)
+}
+
+func restoreStats(d *ckpt.Decoder, s *Stats) {
+	s.Reads = d.U64()
+	s.ReadHits = d.U64()
+	s.Writebacks = d.U64()
+	s.WritebackHits = d.U64()
+	s.Predictions = d.U64()
+	s.Correct = d.U64()
+	s.ProbeReads = d.U64()
+	s.InstallWrites = d.U64()
+	s.WritebackWrites = d.U64()
+	s.VictimReads = d.U64()
+	s.ReplStateOps = d.U64()
+	s.NVMReads = d.U64()
+	s.NVMWrites = d.U64()
+	s.FilteredMisses = d.U64()
+	restoreLatency(d, &s.HitLatency)
+	restoreLatency(d, &s.MissLatency)
+}
+
+func snapshotLatency(e *ckpt.Encoder, l *LatencySum) {
+	e.U64(l.Count)
+	e.I64(l.Sum)
+	for _, b := range l.Buckets {
+		e.U64(b)
+	}
+}
+
+func restoreLatency(d *ckpt.Decoder, l *LatencySum) {
+	l.Count = d.U64()
+	l.Sum = d.I64()
+	for i := range l.Buckets {
+		l.Buckets[i] = d.U64()
+	}
+}
+
+// Snapshot serializes the set arrays, replacement state, statistics, and
+// the attached policy. It returns an error when the policy does not
+// implement core.Checkpointable — such configurations simply cannot be
+// checkpointed, and the caller falls back to a cold run.
+func (c *Cache) Snapshot(e *ckpt.Encoder) error {
+	cp, ok := c.policy.(core.Checkpointable)
+	if !ok {
+		return errNoPolicyCheckpoint(c.policy.Name())
+	}
+	e.U8(cacheVersion)
+	e.U64(c.clock)
+	for _, m := range c.meta {
+		e.U64(m.tag)
+		var flags uint8
+		if m.valid {
+			flags |= 1
+		}
+		if m.dirty {
+			flags |= 2
+		}
+		e.U8(flags)
+	}
+	e.Bool(c.lru != nil)
+	for _, v := range c.lru {
+		e.U64(v)
+	}
+	snapshotStats(e, &c.stats)
+	cp.Snapshot(e)
+	return nil
+}
+
+// Restore replaces the cache's state with a snapshot. On error the cache
+// is left in an unspecified state and must be discarded.
+func (c *Cache) Restore(d *ckpt.Decoder) error {
+	cp, ok := c.policy.(core.Checkpointable)
+	if !ok {
+		return errNoPolicyCheckpoint(c.policy.Name())
+	}
+	if v := d.U8(); d.Err() == nil && v != cacheVersion {
+		d.Failf("dramcache: snapshot version %d, want %d", v, cacheVersion)
+	}
+	c.clock = d.U64()
+	for i := range c.meta {
+		tag := d.U64()
+		flags := d.U8()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if flags > 3 {
+			d.Failf("dramcache: meta[%d] flags %#x invalid", i, flags)
+			return d.Err()
+		}
+		c.meta[i] = wayMeta{tag: tag, valid: flags&1 != 0, dirty: flags&2 != 0}
+	}
+	hasLRU := d.Bool()
+	if d.Err() == nil && hasLRU != (c.lru != nil) {
+		d.Failf("dramcache: snapshot LRU=%v, cache has LRU=%v", hasLRU, c.lru != nil)
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	for i := range c.lru {
+		c.lru[i] = d.U64()
+	}
+	restoreStats(d, &c.stats)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return cp.Restore(d)
+}
+
+// Snapshot serializes the CA-cache's slot arrays and statistics. The
+// error return is always nil; it exists so Cache and CACache satisfy one
+// checkpointing interface at the sim layer.
+func (c *CACache) Snapshot(e *ckpt.Encoder) error {
+	e.U8(caVersion)
+	for _, l := range c.lines {
+		e.U64(uint64(l))
+	}
+	e.Bools(c.valid)
+	e.Bools(c.dirty)
+	snapshotStats(e, &c.stats)
+	return nil
+}
+
+// Restore replaces the CA-cache's state with a snapshot.
+func (c *CACache) Restore(d *ckpt.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != caVersion {
+		d.Failf("dramcache: CA snapshot version %d, want %d", v, caVersion)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i := range c.lines {
+		c.lines[i] = memtypes.LineAddr(d.U64())
+	}
+	d.Bools(c.valid)
+	d.Bools(c.dirty)
+	restoreStats(d, &c.stats)
+	return d.Err()
+}

@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"accord/internal/sim"
+)
+
+// ckptSession builds a session over the golden parameters with the given
+// checkpoint directory ("" disables the store).
+func ckptSession(dir string, progress *bytes.Buffer) *Session {
+	p := goldenParams()
+	p.CheckpointDir = dir
+	if progress != nil {
+		p.Progress = progress
+	}
+	return NewSession(p)
+}
+
+// TestSessionCheckpointIdentity runs every golden case cold, then again
+// through a store-backed session twice (populate, restore), and requires
+// byte-identical exports each time. This is the golden-suite
+// "unchanged with and without a populated store" acceptance criterion in
+// miniature, plus proof that the store actually gets used.
+func TestSessionCheckpointIdentity(t *testing.T) {
+	dir := t.TempDir()
+	for _, cfg := range goldenCases() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			cold := goldenExport(t, cfg)
+
+			exportWith := func(progress *bytes.Buffer) []byte {
+				s := ckptSession(dir, progress)
+				s.Run(cfg, goldenWorkload)
+				var buf bytes.Buffer
+				if err := s.ExportMetrics(nil).WriteJSON(&buf); err != nil {
+					t.Fatalf("WriteJSON: %v", err)
+				}
+				return buf.Bytes()
+			}
+
+			var firstLog, secondLog bytes.Buffer
+			first := exportWith(&firstLog)
+			second := exportWith(&secondLog)
+
+			if !bytes.Equal(cold, first) {
+				t.Error("store-populating run diverged from the no-store export")
+			}
+			if !bytes.Equal(cold, second) {
+				t.Error("checkpoint-restored run diverged from the no-store export")
+			}
+			if !strings.Contains(firstLog.String(), " ran ") {
+				t.Errorf("first run should report a cold simulation, got %q", firstLog.String())
+			}
+			if !strings.Contains(secondLog.String(), " warm ") {
+				t.Errorf("second run should report a restored simulation, got %q", secondLog.String())
+			}
+		})
+	}
+}
+
+// TestSessionCorruptStoreFallsBack truncates every stored checkpoint and
+// verifies the session silently degrades to cold runs with identical
+// output.
+func TestSessionCorruptStoreFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	cfg := goldenCases()[1]
+	cold := goldenExport(t, cfg)
+
+	s := ckptSession(dir, nil)
+	s.Run(cfg, goldenWorkload)
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checkpoints written: files=%v err=%v", files, err)
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(f, b[:len(b)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var log bytes.Buffer
+	s2 := ckptSession(dir, &log)
+	s2.Run(cfg, goldenWorkload)
+	var buf bytes.Buffer
+	if err := s2.ExportMetrics(nil).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, buf.Bytes()) {
+		t.Error("cold fallback after store corruption diverged from the no-store export")
+	}
+	if !strings.Contains(log.String(), " ran ") {
+		t.Errorf("corrupt store should force a cold run, got %q", log.String())
+	}
+}
+
+// TestSessionBadCheckpointDir points the store at an unusable path; the
+// session must warn and run cold rather than fail.
+func TestSessionBadCheckpointDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := goldenParams()
+	p.CheckpointDir = filepath.Join(file, "nested") // mkdir under a file fails
+	s := NewSession(p)
+	if s.store != nil {
+		t.Fatal("store opened under a file path")
+	}
+	res := s.Run(goldenCases()[0], goldenWorkload)
+	if res.Instructions == 0 {
+		t.Error("cold run without a store produced no result")
+	}
+}
+
+// TestSessionCheckpointParallelism runs a multi-config sweep at
+// parallelism 4 against a shared store twice and compares against the
+// sequential no-store results, guarding the concurrent save/load path.
+func TestSessionCheckpointParallelism(t *testing.T) {
+	dir := t.TempDir()
+	cases := goldenCases()
+
+	run := func(p Params) map[string]sim.Result {
+		s := NewSession(p)
+		out := make(map[string]sim.Result, len(cases))
+		for _, cfg := range cases {
+			out[cfg.Name] = s.Run(cfg, goldenWorkload)
+		}
+		return out
+	}
+
+	base := run(goldenParams())
+	for pass := 0; pass < 2; pass++ {
+		p := goldenParams()
+		p.CheckpointDir = dir
+		p.Parallelism = 4
+		got := run(p)
+		for name, want := range base {
+			if got[name].Config != want.Config || got[name].Instructions != want.Instructions ||
+				got[name].Cycles != want.Cycles || got[name].L4 != want.L4 {
+				t.Errorf("pass %d: %s diverged under parallel store access", pass, name)
+			}
+		}
+	}
+}

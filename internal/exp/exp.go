@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"accord/internal/ckpt"
 	"accord/internal/dram"
 	"accord/internal/dramcache"
 	"accord/internal/sim"
@@ -45,6 +47,14 @@ type Params struct {
 	// series travel with the results into ExportMetrics. Sampling is
 	// passive, so tables are unaffected at any setting.
 	EpochInstr int64
+
+	// CheckpointDir, when non-empty, points at a warm-state checkpoint
+	// store (see internal/ckpt): before warming up a design point the
+	// session looks for a checkpoint of its warmup/measure boundary and
+	// restores it instead of re-simulating warmup; misses warm up cold
+	// and populate the store. Restored runs are byte-identical to cold
+	// runs, so tables are unaffected; only wall-clock time changes.
+	CheckpointDir string
 }
 
 // parallelism returns the effective worker count.
@@ -153,6 +163,11 @@ type Session struct {
 
 	progressMu sync.Mutex
 
+	// store is the warm-state checkpoint store, nil when disabled.
+	// Concurrent workers may hit it freely: loads are read-only and
+	// saves are atomic last-writer-wins of identical content.
+	store *ckpt.Store
+
 	// planning, when non-nil, turns Run into a recorder: design points
 	// are collected and zero results returned without simulating.
 	planning *planRecorder
@@ -166,7 +181,18 @@ func NewSession(p Params) *Session {
 	if p.Scale <= 0 {
 		p.Scale = 256
 	}
-	return &Session{p: p, memo: make(map[key]*entry)}
+	s := &Session{p: p, memo: make(map[key]*entry)}
+	if p.CheckpointDir != "" {
+		store, err := ckpt.Open(p.CheckpointDir)
+		if err != nil {
+			// Checkpointing is an accelerator, never a correctness
+			// dependency: warn and run cold.
+			fmt.Fprintf(os.Stderr, "exp: checkpoint store disabled: %v\n", err)
+		} else {
+			s.store = store
+		}
+	}
+	return s
 }
 
 // Params returns the session parameters.
@@ -210,20 +236,28 @@ func (s *Session) run(worker int, cfg sim.Config, workload string) sim.Result {
 	defer close(e.done)
 	start := time.Now()
 	wl := workloads.MustGet(workload, cfg.Cores)
-	e.res = sim.New(cfg, wl).Run(workload)
-	s.progress(worker, cfg.Name, workload, e.res, time.Since(start))
+	var restored bool
+	e.res, restored = sim.RunWithStore(cfg, wl, s.store, workload)
+	s.progress(worker, cfg.Name, workload, e.res, restored, time.Since(start))
 	return e.res
 }
 
-// progress emits one serialized line per completed simulation.
-func (s *Session) progress(worker int, cfg, workload string, r sim.Result, took time.Duration) {
+// progress emits one serialized line per completed simulation. The verb
+// slot distinguishes cold runs ("ran ") from checkpoint-restored ones
+// ("warm"); without a store the output is byte-identical to older
+// sessions.
+func (s *Session) progress(worker int, cfg, workload string, r sim.Result, restored bool, took time.Duration) {
 	if s.p.Progress == nil {
 		return
 	}
+	verb := "ran "
+	if restored {
+		verb = "warm"
+	}
 	s.progressMu.Lock()
 	defer s.progressMu.Unlock()
-	fmt.Fprintf(s.p.Progress, "  [w%02d] ran %-22s %-12s hit=%.3f ipc=%.4f (%.2fs)\n",
-		worker, cfg, workload, r.HitRate(), r.MeanIPC(), took.Seconds())
+	fmt.Fprintf(s.p.Progress, "  [w%02d] %s %-22s %-12s hit=%.3f ipc=%.4f (%.2fs)\n",
+		worker, verb, cfg, workload, r.HitRate(), r.MeanIPC(), took.Seconds())
 }
 
 // TotalEvents returns the total memory events and retired instructions

@@ -30,6 +30,12 @@ func goldenParams() Params {
 		Seed:         1,
 		EpochInstr:   20_000,
 		Parallelism:  1,
+		// ACCORD_CHECKPOINT_DIR opts the golden suite into a warm-state
+		// checkpoint store (CI points it at a cached directory). The
+		// snapshots must pass identically with and without it — that is
+		// the bit-identity contract — so plugging it in here doubles as
+		// the end-to-end proof on every CI run.
+		CheckpointDir: os.Getenv("ACCORD_CHECKPOINT_DIR"),
 	}
 }
 

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"accord/internal/ckpt"
+	"accord/internal/cpu"
+	"accord/internal/workloads"
+)
+
+// snapshotMagic opens every warm-state snapshot blob.
+const snapshotMagic = "ACRDSNAP"
+
+// SnapshotSchema is the warm-state snapshot format version. Bump it
+// whenever ANY component encoding changes — it participates in both the
+// store key and the blob header, so stale checkpoints are invalidated
+// twice over (the key no longer matches, and a blob reached through a
+// collision is rejected on decode).
+const SnapshotSchema = 1
+
+// SnapshotSchemaID returns a stable identifier for the snapshot schema,
+// used by CI to key the checkpoint-store cache.
+func SnapshotSchemaID() string {
+	return fmt.Sprintf("accord-ckpt-v%d", SnapshotSchema)
+}
+
+// l4Checkpointer is the snapshot interface both DRAM-cache organizations
+// (dramcache.Cache and dramcache.CACache) implement. Snapshot may fail:
+// a set-associative cache whose policy lacks checkpoint support cannot
+// be serialized.
+type l4Checkpointer interface {
+	Snapshot(e *ckpt.Encoder) error
+	Restore(d *ckpt.Decoder) error
+}
+
+// WarmFingerprint describes everything that determines the system state
+// at the warmup/measure boundary: the schema, the workload, the
+// L4 organization (Name plus StorageBytes, which captures table-size
+// sweeps that share a name), and every warmup-affecting Config field.
+//
+// Deliberately excluded:
+//   - Name: a label; two configs that differ only in Name warm
+//     identically and share a checkpoint.
+//   - MeasureInstr: consumed strictly after the boundary.
+//   - EpochInstr: sampling is passive and starts at the boundary.
+func (s *System) WarmFingerprint(wlName string) string {
+	c := s.cfg
+	return fmt.Sprintf("%s|wl=%s|l4=%s/%d|cores=%d|iw=%d|mshrs=%d|ghz=%g|sram=%d|"+
+		"scale=%d|l4cap=%d|ways=%d|lookup=%d|lru=%t|ca=%t|hier=%t|"+
+		"nvmcap=%d|anchor=%d|hbm=%+v|pcm=%+v|warm=%d|noadapt=%t|seed=%d",
+		SnapshotSchemaID(), wlName, s.l4.Name(), s.l4.StorageBytes(),
+		c.Cores, c.IssueWidth, c.MSHRs, c.CPUGHz, c.SRAMLat,
+		c.Scale, c.L4CapacityFull, c.Ways, c.Lookup, c.LRUReplacement, c.UseCA,
+		c.FullHierarchy, c.NVMCapacityFull, c.WorkloadAnchorLines,
+		c.HBM, c.PCM, c.WarmupInstr, c.DisableAdaptiveBudgets, c.Seed)
+}
+
+// WarmKey digests the fingerprint into the content-addressed store key.
+func (s *System) WarmKey(wlName string) string {
+	sum := sha256.Sum256([]byte(s.WarmFingerprint(wlName)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Snapshot serializes the complete warm state of the system: every
+// component a measured run reads or mutates. It must be called exactly
+// at the warmup/measure boundary (after RunWarmup, before RunMeasure);
+// the embedded fingerprint documents the configuration the state belongs
+// to and is re-verified on Restore.
+func (s *System) Snapshot(wlName string) ([]byte, error) {
+	l4, ok := s.l4.(l4Checkpointer)
+	if !ok {
+		return nil, fmt.Errorf("sim: L4 organization %q does not support checkpointing", s.l4.Name())
+	}
+	e := ckpt.NewEncoder(1 << 20)
+	e.Raw([]byte(snapshotMagic))
+	e.U32(SnapshotSchema)
+	e.String(s.WarmFingerprint(wlName))
+	s.vmsys.Snapshot(e)
+	if err := l4.Snapshot(e); err != nil {
+		return nil, err
+	}
+	s.hbm.Snapshot(e)
+	s.pcm.Snapshot(e)
+	e.U32(uint32(len(s.cores)))
+	for _, c := range s.cores {
+		if err := c.Snapshot(e); err != nil {
+			return nil, err
+		}
+	}
+	e.Bool(s.cfg.FullHierarchy)
+	if s.cfg.FullHierarchy {
+		s.l3.Snapshot(e)
+		for _, h := range s.hiers {
+			h.Snapshot(e)
+		}
+	}
+	return e.Finish(), nil
+}
+
+// Restore loads a warm-state snapshot into a freshly constructed system
+// (same Config, same workload). On error the system is left in an
+// unspecified state and must be discarded; the caller falls back to a
+// cold run. Adversarial input cannot panic: every length is bounded and
+// every section validates its shape against the constructed system.
+func (s *System) Restore(blob []byte, wlName string) error {
+	l4, ok := s.l4.(l4Checkpointer)
+	if !ok {
+		return fmt.Errorf("sim: L4 organization %q does not support checkpointing", s.l4.Name())
+	}
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		return err
+	}
+	if magic := d.Raw(len(snapshotMagic)); d.Err() == nil && string(magic) != snapshotMagic {
+		d.Failf("sim: bad snapshot magic %q", magic)
+	}
+	if schema := d.U32(); d.Err() == nil && schema != SnapshotSchema {
+		d.Failf("sim: snapshot schema %d, want %d", schema, SnapshotSchema)
+	}
+	if fp := d.String(); d.Err() == nil && fp != s.WarmFingerprint(wlName) {
+		d.Failf("sim: snapshot fingerprint mismatch:\n  have %s\n  want %s", fp, s.WarmFingerprint(wlName))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := s.vmsys.Restore(d); err != nil {
+		return err
+	}
+	if err := l4.Restore(d); err != nil {
+		return err
+	}
+	if err := s.hbm.Restore(d); err != nil {
+		return err
+	}
+	if err := s.pcm.Restore(d); err != nil {
+		return err
+	}
+	if n := d.U32(); d.Err() == nil && int(n) != len(s.cores) {
+		d.Failf("sim: snapshot has %d cores, system has %d", n, len(s.cores))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for _, c := range s.cores {
+		if err := c.Restore(d); err != nil {
+			return err
+		}
+	}
+	if hier := d.Bool(); d.Err() == nil && hier != s.cfg.FullHierarchy {
+		d.Failf("sim: snapshot hierarchy=%t, config hierarchy=%t", hier, s.cfg.FullHierarchy)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if s.cfg.FullHierarchy {
+		if err := s.l3.Restore(d); err != nil {
+			return err
+		}
+		for _, h := range s.hiers {
+			if err := h.Restore(d); err != nil {
+				return err
+			}
+		}
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("sim: %d trailing bytes after snapshot", d.Remaining())
+	}
+	return nil
+}
+
+// RunWithStore runs cfg on wl, consulting store (which may be nil) for a
+// warm-state checkpoint: a hit restores the boundary state and skips
+// warmup entirely; a miss warms up cold and saves the state for the next
+// run. Any checkpoint problem — corrupt blob, stale schema, policy
+// without snapshot support — silently degrades to a cold run on a fresh
+// system. The restored flag reports whether warmup was skipped.
+func RunWithStore(cfg Config, wl workloads.Workload, store *ckpt.Store, wlName string) (res Result, restored bool) {
+	s := New(cfg, wl)
+	if store == nil {
+		return s.Run(wlName), false
+	}
+	key := s.WarmKey(wlName)
+	if blob, ok, err := store.Load(key); err == nil && ok {
+		if err := s.Restore(blob, wlName); err == nil {
+			return s.RunMeasure(wlName), true
+		}
+		// A failed restore leaves component state unspecified; rebuild
+		// and fall through to the cold path.
+		s = New(cfg, wl)
+	}
+	s.RunWarmup()
+	if blob, err := s.Snapshot(wlName); err == nil {
+		// Best-effort: a full disk or read-only store must not fail the run.
+		_ = store.Save(key, blob)
+	}
+	return s.RunMeasure(wlName), false
+}
+
+// Cores exposes the assembled cores for tests.
+func (s *System) Cores() []*cpu.Core { return s.cores }

@@ -225,7 +225,9 @@ type System struct {
 	l4    dramcache.Interface
 	hbm   *dram.Device
 	pcm   *dram.Device
-	l3    *cache.Cache // non-nil in full-hierarchy mode
+	l3    *cache.Cache         // non-nil in full-hierarchy mode
+	vmsys *vm.System           // retained for checkpointing
+	hiers []*cache.Hierarchy   // per-core L1/L2, full-hierarchy mode only
 
 	// reg is the system's metrics registry: every component registers
 	// its statistics into it at assembly time, and the final snapshot
@@ -244,6 +246,16 @@ type System struct {
 	finish []finishPoint
 	done   []bool
 	caps   []int64
+
+	// Incremental window counters for epoch sampling: winInstr caches
+	// each core's measured-window instruction count, winInstrSum their
+	// total, and maxWinCycles the longest window so far (core time only
+	// moves forward, so the max never needs recomputing). Maintained only
+	// while series is non-nil; sampleTick reads them instead of rescanning
+	// every core per step.
+	winInstr     []int64
+	winInstrSum  int64
+	maxWinCycles int64
 }
 
 // memAdapter bridges the core's MemorySystem to the DRAM cache in the
@@ -335,11 +347,12 @@ func New(cfg Config, wl workloads.Workload) *System {
 	frames := uint64(cfg.NVMCapacityFull / cfg.Scale / memtypes.PageSize)
 	vmsys := vm.NewSystem(frames, vm.AllocRandom, cfg.Seed)
 
-	s := &System{cfg: cfg, specs: wl.Specs, l4: l4, hbm: hbm, pcm: pcm}
+	s := &System{cfg: cfg, specs: wl.Specs, l4: l4, hbm: hbm, pcm: pcm, vmsys: vmsys}
 	params := cpu.Params{IssueWidth: cfg.IssueWidth, MSHRs: cfg.MSHRs, SRAMLat: cfg.SRAMLat}
 	var hiers []*cache.Hierarchy
 	if cfg.FullHierarchy {
 		hiers, s.l3 = cache.NewSharedHierarchies(cache.DefaultHierarchy(cfg.Scale), cfg.Cores)
+		s.hiers = hiers
 		// The SRAM path is now modeled structurally; only the L1 lookup
 		// remains as a fixed cost on the issue path.
 		params.SRAMLat = 0
@@ -402,6 +415,16 @@ func (s *System) adaptiveBudget(factor float64, configured int64) int64 {
 
 // Run executes warmup then the measurement window and returns the result.
 func (s *System) Run(wlName string) Result {
+	s.RunWarmup()
+	return s.RunMeasure(wlName)
+}
+
+// RunWarmup advances every core through the warmup phase and marks the
+// warmup/measure boundary (stats reset, window marks). The system state
+// at return is exactly what a warm-state checkpoint captures: calling
+// RunMeasure afterwards — on this instance or on a fresh one restored
+// from the snapshot — produces identical results.
+func (s *System) RunWarmup() {
 	// Warmup: advance every core far enough to warm the cache (low-MPKI
 	// workloads need more instructions to generate the same traffic).
 	warm := s.adaptiveBudget(warmFactor, s.cfg.WarmupInstr)
@@ -419,14 +442,21 @@ func (s *System) Run(wlName string) Result {
 	for _, c := range s.cores {
 		c.MarkWindow()
 	}
+}
+
+// RunMeasure executes the measurement window on a warmed system (warmed
+// by RunWarmup or restored from a checkpoint) and returns the result.
+func (s *System) RunMeasure(wlName string) Result {
 	if s.cfg.EpochInstr > 0 {
 		s.series = metrics.NewSeries(s.reg, s.cfg.EpochInstr)
+		s.initWindowTrack()
 	}
 
 	// Measure: each core runs a full measurement budget past its own
 	// warmup crossing (in a mix, fast cores may have run far ahead while
 	// slow cores warmed up).
 	measure := s.adaptiveBudget(measureFactor, s.cfg.MeasureInstr)
+	targets := make([]int64, len(s.cores))
 	for i, c := range s.cores {
 		targets[i] = c.Instructions() + measure
 	}
@@ -535,8 +565,13 @@ func (s *System) advanceUntil(targets []int64) []finishPoint {
 		if doneCount > 0 {
 			for i, c := range s.cores {
 				if done[i] {
+					stepped := false
 					for c.Time() < minTime && c.Instructions() < caps[i] {
 						c.Step()
+						stepped = true
+					}
+					if stepped && s.series != nil {
+						s.noteCore(i)
 					}
 				}
 			}
@@ -544,6 +579,9 @@ func (s *System) advanceUntil(targets []int64) []finishPoint {
 		c := s.cores[min]
 		for {
 			c.Step()
+			if s.series != nil {
+				s.noteCore(min)
+			}
 			if c.Instructions() >= targets[min] {
 				done[min] = true
 				doneCount++
@@ -570,16 +608,40 @@ func (s *System) advanceUntil(targets []int64) []finishPoint {
 	return finish
 }
 
-// sampleTick offers the current window clocks to the epoch series. The
-// instruction clock is the total measured-window retirement across cores;
-// the cycle clock is the longest per-core window so far.
-func (s *System) sampleTick() {
-	var instr, cycles int64
-	for _, c := range s.cores {
-		instr += c.WindowInstructions()
-		if wc := c.WindowCycles(); wc > cycles {
-			cycles = wc
+// initWindowTrack seeds the incremental window counters with a full scan
+// (exact regardless of where the window marks sit).
+func (s *System) initWindowTrack() {
+	if s.winInstr == nil {
+		s.winInstr = make([]int64, len(s.cores))
+	}
+	s.winInstrSum, s.maxWinCycles = 0, 0
+	for i, c := range s.cores {
+		s.winInstr[i] = c.WindowInstructions()
+		s.winInstrSum += s.winInstr[i]
+		if wc := c.WindowCycles(); wc > s.maxWinCycles {
+			s.maxWinCycles = wc
 		}
 	}
-	s.series.Tick(instr, cycles)
+}
+
+// noteCore folds core i's stepped window counters into the incremental
+// sums. Called after every Step site while a series is live, so
+// sampleTick sees exactly what a full rescan would.
+func (s *System) noteCore(i int) {
+	c := s.cores[i]
+	wi := c.WindowInstructions()
+	s.winInstrSum += wi - s.winInstr[i]
+	s.winInstr[i] = wi
+	if wc := c.WindowCycles(); wc > s.maxWinCycles {
+		s.maxWinCycles = wc
+	}
+}
+
+// sampleTick offers the current window clocks to the epoch series. The
+// instruction clock is the total measured-window retirement across cores;
+// the cycle clock is the longest per-core window so far. Both are
+// maintained incrementally by noteCore — the previous implementation
+// rescanned every core on every step, an O(cores) tax on -epoch runs.
+func (s *System) sampleTick() {
+	s.series.Tick(s.winInstrSum, s.maxWinCycles)
 }

@@ -1,0 +1,94 @@
+package vm
+
+import (
+	"testing"
+
+	"accord/internal/ckpt"
+	"accord/internal/memtypes"
+)
+
+// build allocates ~pages mappings across two spaces of a fresh system.
+func build(seed int64, pages int) (*System, []*Space) {
+	s := NewSystem(1<<14, AllocRandom, seed)
+	sps := []*Space{s.NewSpace(), s.NewSpace()}
+	for i := 0; i < pages; i++ {
+		sp := sps[i%2]
+		sp.TranslateLine(memtypes.LineAddr(uint64(i) * 64 / 2))
+	}
+	return s, sps
+}
+
+// TestSystemRoundTrip restores a populated radix table + allocator into a
+// fresh system and requires identical existing translations AND identical
+// future allocations (the allocator RNG stream must continue in place).
+func TestSystemRoundTrip(t *testing.T) {
+	s, sps := build(6, 8000)
+	e := ckpt.NewEncoder(0)
+	s.Snapshot(e)
+	blob := e.Finish()
+
+	fresh, fsps := build(99, 0) // different seed, no mappings
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(d); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after restore", d.Remaining())
+	}
+	if fresh.AllocatedFrames() != s.AllocatedFrames() {
+		t.Fatalf("allocated frames %d != %d", fresh.AllocatedFrames(), s.AllocatedFrames())
+	}
+	for i := 0; i < 8000; i += 7 {
+		vl := memtypes.LineAddr(uint64(i) * 64 / 2)
+		if sps[i%2].TranslateLine(vl) != fsps[i%2].TranslateLine(vl) {
+			t.Fatalf("existing translation %d diverged", i)
+		}
+	}
+	// New mappings draw from the restored RNG: they must match too.
+	for i := 0; i < 2000; i++ {
+		vl := memtypes.LineAddr(1<<40 + uint64(i)*64)
+		if sps[0].TranslateLine(vl) != fsps[0].TranslateLine(vl) {
+			t.Fatalf("new translation %d diverged", i)
+		}
+	}
+}
+
+// TestSystemRestoreRejectsBadInput covers version bumps, space-count and
+// frame-count mismatches, and truncations.
+func TestSystemRestoreRejectsBadInput(t *testing.T) {
+	s, _ := build(3, 1000)
+	e := ckpt.NewEncoder(0)
+	s.Snapshot(e)
+	blob := e.Finish()
+	payload := blob[:len(blob)-4]
+
+	freshSys := func() *System {
+		f, _ := build(3, 0)
+		return f
+	}
+	bad := append([]byte{payload[0] + 1}, payload[1:]...)
+	if err := freshSys().Restore(ckpt.NewDecoder(bad)); err == nil {
+		t.Error("version-bumped snapshot accepted")
+	}
+	// One-space system must reject a two-space snapshot.
+	one := NewSystem(1<<14, AllocRandom, 3)
+	one.NewSpace()
+	if err := one.Restore(ckpt.NewDecoder(payload)); err == nil {
+		t.Error("space-count mismatch accepted")
+	}
+	// Different frame count must be rejected.
+	small := NewSystem(1<<10, AllocRandom, 3)
+	small.NewSpace()
+	small.NewSpace()
+	if err := small.Restore(ckpt.NewDecoder(payload)); err == nil {
+		t.Error("frame-count mismatch accepted")
+	}
+	for n := 0; n < len(payload); n += 1 + n/8 {
+		if err := freshSys().Restore(ckpt.NewDecoder(payload[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}

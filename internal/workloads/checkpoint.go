@@ -1,0 +1,86 @@
+package workloads
+
+import "accord/internal/ckpt"
+
+// Checkpointer is the optional snapshot interface a Stream may implement.
+// It is separate from Stream so custom test streams keep compiling; the
+// simulator type-asserts and refuses to checkpoint a stream that lacks
+// it.
+type Checkpointer interface {
+	Snapshot(e *ckpt.Encoder)
+	Restore(d *ckpt.Decoder) error
+}
+
+// Per-component version bytes; bump on any encoding change.
+const (
+	generatorVersion = 1
+	fixedVersion     = 1
+)
+
+// Snapshot implements Checkpointer. Only the mutable per-event state is
+// stored: the RNG and each component's stride position. The spec-derived
+// fields (weights, arena bases, footprints) are rebuilt by NewStream from
+// the same spec, and the RNG state already reflects the construction-time
+// draws.
+func (g *generator) Snapshot(e *ckpt.Encoder) {
+	e.U8(generatorVersion)
+	g.rng.Snapshot(e)
+	e.U32(uint32(len(g.comps)))
+	for i := range g.comps {
+		e.U64(g.comps[i].pos)
+	}
+}
+
+// Restore implements Checkpointer.
+func (g *generator) Restore(d *ckpt.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != generatorVersion {
+		d.Failf("workloads: generator snapshot version %d, want %d", v, generatorVersion)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := g.rng.Restore(d); err != nil {
+		return err
+	}
+	if n := d.U32(); d.Err() == nil && int(n) != len(g.comps) {
+		d.Failf("workloads: snapshot has %d components, generator has %d", n, len(g.comps))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i := range g.comps {
+		pos := d.U64()
+		if d.Err() == nil && g.comps[i].lines > 0 && pos >= g.comps[i].lines {
+			d.Failf("workloads: component %d position %d exceeds %d lines", i, pos, g.comps[i].lines)
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		g.comps[i].pos = pos
+	}
+	return nil
+}
+
+// Snapshot implements Checkpointer: the cursor is the only mutable state.
+func (f *FixedStream) Snapshot(e *ckpt.Encoder) {
+	e.U8(fixedVersion)
+	e.I64(int64(f.pos))
+}
+
+// Restore implements Checkpointer.
+func (f *FixedStream) Restore(d *ckpt.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != fixedVersion {
+		d.Failf("workloads: fixed stream snapshot version %d, want %d", v, fixedVersion)
+	}
+	// The cursor grows without bound (Next applies the modulo), so only
+	// negativity is invalid.
+	pos := d.I64()
+	if d.Err() == nil && pos < 0 {
+		d.Failf("workloads: fixed stream position %d is negative", pos)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	f.pos = int(pos)
+	return nil
+}

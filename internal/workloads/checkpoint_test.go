@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"testing"
+
+	"accord/internal/ckpt"
+	"accord/internal/memtypes"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:      "ckpt-test",
+		MPKI:      20,
+		WriteFrac: 0.3,
+		DepFrac:   0.4,
+		Components: []Component{
+			{Weight: 0.6, SizeRatio: 0.5, StrideLines: 1},
+			{Weight: 0.4, SizeRatio: 2.0, StrideLines: 0},
+		},
+	}
+}
+
+func drawEvents(s Stream, n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		s.Next(&out[i])
+	}
+	return out
+}
+
+// TestGeneratorRoundTrip checks that a restored generator continues the
+// exact event stream of the original, with a fresh instance built from a
+// different seed.
+func TestGeneratorRoundTrip(t *testing.T) {
+	g := NewStream(testSpec(), 1<<16, 4, 3)
+	drawEvents(g, 5000)
+
+	e := ckpt.NewEncoder(0)
+	g.(Checkpointer).Snapshot(e)
+	blob := e.Finish()
+	want := drawEvents(g, 500)
+
+	fresh := NewStream(testSpec(), 1<<16, 4, 77)
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.(Checkpointer).Restore(d); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	got := drawEvents(fresh, 500)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("event %d diverged: %+v != %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestGeneratorRestoreRejectsBadInput covers version bumps, truncations,
+// and a component-count mismatch.
+func TestGeneratorRestoreRejectsBadInput(t *testing.T) {
+	g := NewStream(testSpec(), 1<<16, 4, 3)
+	e := ckpt.NewEncoder(0)
+	g.(Checkpointer).Snapshot(e)
+	blob := e.Finish()
+	payload := blob[:len(blob)-4]
+
+	fresh := func() Checkpointer {
+		return NewStream(testSpec(), 1<<16, 4, 3).(Checkpointer)
+	}
+	bad := append([]byte{payload[0] + 1}, payload[1:]...)
+	if err := fresh().Restore(ckpt.NewDecoder(bad)); err == nil {
+		t.Error("version-bumped snapshot accepted")
+	}
+	for n := 0; n < len(payload); n += 1 + n/8 {
+		if err := fresh().Restore(ckpt.NewDecoder(payload[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+
+	// A snapshot from a spec with a different component count must not
+	// restore into this generator.
+	one := testSpec()
+	one.Components = one.Components[:1]
+	one.Components[0].Weight = 1.0
+	e2 := ckpt.NewEncoder(0)
+	NewStream(one, 1<<16, 4, 3).(Checkpointer).Snapshot(e2)
+	b2 := e2.Finish()
+	if err := fresh().Restore(ckpt.NewDecoder(b2[:len(b2)-4])); err == nil {
+		t.Error("component-count mismatch accepted")
+	}
+}
+
+// TestFixedStreamRoundTrip checks cursor save/restore, including a cursor
+// past one full cycle (pos grows without bound; Next reduces modulo).
+func TestFixedStreamRoundTrip(t *testing.T) {
+	events := []Event{
+		{Gap: 1, Line: memtypes.LineAddr(10)},
+		{Gap: 2, Line: memtypes.LineAddr(20), Write: true},
+		{Gap: 3, Line: memtypes.LineAddr(30), Dep: true},
+	}
+	f := &FixedStream{Events: events}
+	drawEvents(f, 7) // wraps past the slice twice
+
+	e := ckpt.NewEncoder(0)
+	f.Snapshot(e)
+	blob := e.Finish()
+	want := drawEvents(f, 5)
+
+	fresh := &FixedStream{Events: events}
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(d); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	got := drawEvents(fresh, 5)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("event %d diverged after cursor restore", i)
+		}
+	}
+}
+
+// TestFixedStreamRejectsNegativePos guards the only invalid cursor state.
+func TestFixedStreamRejectsNegativePos(t *testing.T) {
+	e := ckpt.NewEncoder(0)
+	e.U8(fixedVersion)
+	e.I64(-1)
+	blob := e.Finish()
+	f := &FixedStream{Events: []Event{{}}}
+	if err := f.Restore(ckpt.NewDecoder(blob[:len(blob)-4])); err == nil {
+		t.Error("negative cursor accepted")
+	}
+}

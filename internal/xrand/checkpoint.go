@@ -1,0 +1,39 @@
+package xrand
+
+import "accord/internal/ckpt"
+
+// rngVersion tags the Rand encoding; bump on any layout change.
+const rngVersion = 1
+
+// Snapshot serializes the generator's complete state: the two cursors
+// and the 607-word lagged-Fibonacci vector. A restored generator emits
+// the exact continuation of the snapshotted stream.
+func (r *Rand) Snapshot(e *ckpt.Encoder) {
+	e.U8(rngVersion)
+	e.U32(uint32(r.tap))
+	e.U32(uint32(r.feed))
+	for _, v := range r.vec {
+		e.I64(v)
+	}
+}
+
+// Restore replaces the generator's state with a snapshot.
+func (r *Rand) Restore(d *ckpt.Decoder) error {
+	if v := d.U8(); d.Err() == nil && v != rngVersion {
+		d.Failf("xrand: snapshot version %d, want %d", v, rngVersion)
+	}
+	tap, feed := d.U32(), d.U32()
+	if d.Err() == nil && (tap >= rngLen || feed >= rngLen) {
+		d.Failf("xrand: cursor out of range (tap=%d feed=%d)", tap, feed)
+	}
+	var vec [rngLen]int64
+	for i := range vec {
+		vec[i] = d.I64()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	r.tap, r.feed = int32(tap), int32(feed)
+	r.vec = vec
+	return nil
+}
