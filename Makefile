@@ -7,16 +7,21 @@ GO ?= go
 # Benchmark-trajectory settings: the paper-artifact suite, run -count
 # times and reduced to medians by cmd/benchjson. BENCH_JSON is the
 # committed trajectory file CI compares fresh runs against.
-BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl|BenchmarkCkpt
+BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl|BenchmarkCkpt|BenchmarkTraceSession
 BENCH_COUNT   ?= 3
-BENCH_JSON    ?= BENCH_PR4.json
+BENCH_JSON    ?= BENCH_PR5.json
+
+# Lint: staticcheck at a pinned version, resolved through the module
+# proxy by `go run` (not a repo dependency). Requires network access on
+# first use; CI caches the module download.
+STATICCHECK_VERSION ?= 2025.1.1
 
 # Warm-state checkpoint store settings: `make checkpoints` populates
 # CKPT_DIR with checkpoints for the golden-suite configurations, so test
 # runs with ACCORD_CHECKPOINT_DIR pointing there skip their warmup.
 CKPT_DIR ?= .ckpt
 
-.PHONY: all build test race vet bench-smoke bench-json bench-compare checkpoints profile verify
+.PHONY: all build test race vet lint bench-smoke bench-json bench-compare checkpoints profile verify
 
 all: verify
 
@@ -26,15 +31,21 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiment scheduler and the metrics registry are the main
-# concurrency surfaces; exercise them under the race detector (short
-# mode keeps the full-experiment determinism test out of the hot loop —
-# `go test -race ./internal/exp` without -short runs it too).
+# The experiment scheduler, the metrics registry, and the trace cache's
+# lazy-extension protocol are the main concurrency surfaces; exercise
+# them under the race detector (short mode keeps the full-experiment
+# determinism test out of the hot loop — `go test -race ./internal/exp`
+# without -short runs it too).
 race:
-	$(GO) test -race -short ./internal/exp ./internal/sim ./internal/metrics
+	$(GO) test -race -short ./internal/exp ./internal/sim ./internal/metrics ./internal/workloads
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Pinned so lint results are reproducible;
+# bump STATICCHECK_VERSION deliberately, not via @latest.
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # A fast benchmark pass that catches gross performance or allocation
 # regressions on the hot paths the scheduler multiplies.

@@ -19,7 +19,10 @@ import (
 // milliseconds to seconds range. cmd/accordbench runs the same experiments
 // at full quality.
 func benchParams() exp.Params {
-	return exp.Params{Scale: 8192, Cores: 4, WarmupInstr: 100_000, MeasureInstr: 100_000, Seed: 1}
+	// TraceCache mirrors the production default (exp.DefaultParams): each
+	// iteration's session records every workload stream once and replays
+	// it for the remaining design points.
+	return exp.Params{Scale: 8192, Cores: 4, WarmupInstr: 100_000, MeasureInstr: 100_000, Seed: 1, TraceCache: true}
 }
 
 // benchExperiment runs one paper artifact end to end per iteration.
@@ -139,6 +142,36 @@ func BenchmarkSessionParallel(b *testing.B) {
 				s := exp.NewSession(p)
 				if tables := s.RunExperiment(e); len(tables) == 0 {
 					b.Fatal("tab6 produced no tables")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceSession measures a multi-configuration sweep — four
+// architectures over three shared workloads — through one session with
+// the trace cache off (cold: every run regenerates its streams) and on
+// (shared: the first run per workload records, eleven replays follow).
+// The shared variant is the trace cache's headline wall-clock win.
+func BenchmarkTraceSession(b *testing.B) {
+	configs := []sim.Config{sim.DirectMapped(), sim.ACCORD(2), sim.MRU(2), sim.CACache()}
+	names := []string{"libquantum", "soplex", "mcf"}
+	for _, variant := range []struct {
+		name  string
+		trace bool
+	}{{"cold", false}, {"shared", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := benchParams()
+				p.TraceCache = variant.trace
+				s := exp.NewSession(p)
+				for _, cfg := range configs {
+					for _, wl := range names {
+						if res := s.Run(cfg, wl); res.Instructions == 0 {
+							b.Fatalf("%s/%s retired no instructions", cfg.Name, wl)
+						}
+					}
 				}
 			}
 		})

@@ -36,6 +36,7 @@ func manifestConfig(p exp.Params, experiment string) map[string]interface{} {
 		"measure_instr": p.MeasureInstr,
 		"epoch_instr":   p.EpochInstr,
 		"parallelism":   p.Parallelism,
+		"trace_cache":   p.TraceCache,
 	}
 }
 
@@ -52,6 +53,8 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write structured metrics for every simulation to this file (.csv for CSV + manifest sidecar, otherwise JSON)")
 		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshots only)")
 		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: skip warmup for design points with a stored checkpoint, populate it for the rest")
+		traceCache = flag.Bool("trace-cache", true, "share one recording of each workload stream across every design point instead of re-generating it per run")
+		traceMB    = flag.Int64("trace-cache-mb", 0, "trace cache byte budget in MiB (0 = default)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -92,6 +95,8 @@ func main() {
 	p.Seed = *seed
 	p.Parallelism = *parallel
 	p.CheckpointDir = *ckptDir
+	p.TraceCache = *traceCache
+	p.TraceCacheBytes = *traceMB << 20
 	if *verbose {
 		p.Progress = os.Stderr
 	}
@@ -148,6 +153,11 @@ func main() {
 	events, instr := session.TotalEvents()
 	fmt.Fprintf(os.Stderr, "accordbench: total %.1fs with %d workers — %.2fM memory events/s, %.1fM retired instructions/s\n",
 		elapsed, workers, float64(events)/elapsed/1e6, float64(instr)/elapsed/1e6)
+	if *traceCache {
+		traces, bytes, hits, misses, evicted := session.TraceCacheStats()
+		fmt.Fprintf(os.Stderr, "accordbench: trace cache — %d recordings (%.1f MiB), %d replayed / %d recorded streams, %d evicted\n",
+			traces, float64(bytes)/(1<<20), hits, misses, evicted)
+	}
 
 	if *metricsOut != "" {
 		ex := session.ExportMetrics(man.Finish())

@@ -26,21 +26,22 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "libquantum", "workload name (see -list)")
-		org      = flag.String("org", "accord", "organization: direct|parallel|serial|idealized|perfect|unbiased|pws|gws|accord|mru|partialtag|ca|lru")
-		ways     = flag.Int("ways", 2, "associativity for N-way organizations")
-		pip      = flag.Float64("pip", 0.85, "preferred-way install probability (pws)")
-		scale    = flag.Int64("scale", 256, "capacity scale divisor (1 = full 4 GB)")
-		cores    = flag.Int("cores", 16, "core count")
-		warmup   = flag.Int64("warmup", 4_000_000, "warmup instructions per core")
-		measure  = flag.Int64("measure", 4_000_000, "measured instructions per core")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		baseline = flag.Bool("baseline", false, "also run the direct-mapped baseline and report speedup")
+		workload   = flag.String("workload", "libquantum", "workload name (see -list)")
+		org        = flag.String("org", "accord", "organization: direct|parallel|serial|idealized|perfect|unbiased|pws|gws|accord|mru|partialtag|ca|lru")
+		ways       = flag.Int("ways", 2, "associativity for N-way organizations")
+		pip        = flag.Float64("pip", 0.85, "preferred-way install probability (pws)")
+		scale      = flag.Int64("scale", 256, "capacity scale divisor (1 = full 4 GB)")
+		cores      = flag.Int("cores", 16, "core count")
+		warmup     = flag.Int64("warmup", 4_000_000, "warmup instructions per core")
+		measure    = flag.Int64("measure", 4_000_000, "measured instructions per core")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		baseline   = flag.Bool("baseline", false, "also run the direct-mapped baseline and report speedup")
 		trace      = flag.String("trace", "", "replay a trace file (see cmd/tracegen) instead of a named workload")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of a table")
 		metricsOut = flag.String("metrics-out", "", "write structured metrics to this file (.csv for CSV + manifest sidecar, otherwise JSON)")
 		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshot only)")
 		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: restore the warmup/measure boundary when a matching checkpoint exists, populate it otherwise (ignored with -trace)")
+		traceCache = flag.Bool("trace-cache", true, "record each workload stream once and replay it, sharing the recording with the -baseline run (ignored with -trace)")
 		ckptSchema = flag.Bool("ckpt-schema", false, "print the checkpoint schema ID (for cache keys) and exit")
 		list       = flag.Bool("list", false, "list workloads and exit")
 	)
@@ -90,6 +91,15 @@ func main() {
 	// could leave them half-mutated, so checkpointing is gated off.
 	store := openStore(*ckptDir, *trace != "")
 
+	// The trace cache records the workload stream on first use and
+	// replays it for the -baseline run (same workload, same anchor, same
+	// seeds — replay is byte-identical to regeneration).
+	var traces *workloads.TraceCache
+	if *traceCache && *trace == "" {
+		traces = workloads.NewTraceCache(0)
+		wl.Source = traces.Source(wl.Specs, cfg.AnchorLines(), cfg.Seed)
+	}
+
 	man := metrics.NewManifest("accordsim", flagConfig(), cfg.Seed)
 	res, restored := sim.RunWithStore(cfg, wl, store, wl.Name)
 	if restored {
@@ -137,6 +147,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		// With the trace cache on, wl.Source is already set: sim.New asks
+		// it for fresh cursors, which replay the recordings the main run
+		// just produced (the baseline shares scale, seed, and anchor).
 		bres, _ := sim.RunWithStore(base, wl, store, wl.Name)
 		fmt.Printf("\nbaseline (direct-mapped) mean IPC: %.4f\n", bres.MeanIPC())
 		fmt.Printf("weighted speedup:                  %.4f\n", sim.WeightedSpeedup(res, bres))

@@ -21,6 +21,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -144,7 +145,7 @@ func capture(in io.Reader, outPath string) error {
 		return err
 	}
 	if len(benches) == 0 {
-		return fmt.Errorf("no benchmark lines found in input")
+		return errors.New("no benchmark lines found in input")
 	}
 	var times []float64
 	for _, b := range benches {

@@ -61,10 +61,10 @@ type Core struct {
 	time       int64
 	instr      int64
 	instCarry  int64
-	issueWidth int64 // int64(params.IssueWidth), hoisted off the Step path
-	issueMask  int64 // issueWidth-1 when the width is a power of two, else -1
-	issueShift uint8 // log2(issueWidth) when issueMask >= 0
-	sramLat    int64 // params.SRAMLat
+	issueWidth int64           // int64(params.IssueWidth), hoisted off the Step path
+	issueMask  int64           // issueWidth-1 when the width is a power of two, else -1
+	issueShift uint8           // log2(issueWidth) when issueMask >= 0
+	sramLat    int64           // params.SRAMLat
 	ev         workloads.Event // reused across Steps; &ev escapes through the Stream interface, so a local would heap-allocate every event
 	mshr       []int64         // completion cycles of in-flight misses
 

@@ -544,10 +544,10 @@ func (d *Device) Access(at int64, loc Loc, kind memtypes.Kind, bytes int) Result
 		d.stats.BytesWritten += uint64(bytes)
 		// Nominal completion for the writer: queued behind the current
 		// backlog, then cell-write recovery.
-		return Result{DataAt: max64(at, ch.lastEnd()) + ch.writeBacklog + d.tWR, RowHit: true}
+		return Result{DataAt: max(at, ch.lastEnd()) + ch.writeBacklog + d.tWR, RowHit: true}
 	}
 
-	start := max64(at, bk.readyAt)
+	start := max(at, bk.readyAt)
 	d.stats.BankWait += start - at
 	rowHit := bk.rowOpen && bk.openRow == loc.Row
 	var rowReadyAt int64
@@ -559,7 +559,7 @@ func (d *Device) Access(at int64, loc Loc, kind memtypes.Kind, bytes int) Result
 		// tRAS after its activation); a closed bank activates immediately.
 		actAt := start
 		if bk.rowOpen {
-			preAt := max64(start, bk.actAt+d.tRAS)
+			preAt := max(start, bk.actAt+d.tRAS)
 			actAt = preAt + d.tRP
 		}
 		rowReadyAt = actAt + d.tRCD
@@ -609,17 +609,10 @@ func (d *Device) drainWrites(ch *channel, until int64) {
 	if idle <= 0 || ch.writeBacklog == 0 {
 		return
 	}
-	drained := min64(ch.writeBacklog, idle)
+	drained := min(ch.writeBacklog, idle)
 	ch.reserve(ch.lastEnd(), drained)
 	ch.writeBacklog -= drained
 	d.stats.BusBusy += drained
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // UnloadedReadLatency returns the latency in cycles of an isolated read of
@@ -633,11 +626,4 @@ func (d *Device) UnloadedReadLatency(bytes int) int64 {
 // open row.
 func (d *Device) RowHitReadLatency(bytes int) int64 {
 	return d.tCAS + d.transferCycles(bytes)
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -317,19 +317,19 @@ func New(cfg Config, policy core.Policy, dev, nvm *dram.Device) *Cache {
 		nvmUPR = 1
 	}
 	c := &Cache{
-		cfg:            cfg,
-		dev:            dev,
-		nvm:            nvm,
-		policy:         policy,
-		sets:           sets,
-		setMask:        sets - 1,
-		setShift:       log2(sets),
-		ways:           cfg.Ways,
-		meta:           make([]wayMeta, n),
-		devMap:         dev.Config().NewMapper(upr),
-		nvmMap:         nvm.Config().NewMapper(nvmUPR),
-		candBuf:        make([]int, 0, cfg.Ways),
-		probes:         make([]int, 0, cfg.Ways),
+		cfg:      cfg,
+		dev:      dev,
+		nvm:      nvm,
+		policy:   policy,
+		sets:     sets,
+		setMask:  sets - 1,
+		setShift: log2(sets),
+		ways:     cfg.Ways,
+		meta:     make([]wayMeta, n),
+		devMap:   dev.Config().NewMapper(upr),
+		nvmMap:   nvm.Config().NewMapper(nvmUPR),
+		candBuf:  make([]int, 0, cfg.Ways),
+		probes:   make([]int, 0, cfg.Ways),
 	}
 	if cfg.LRUReplacement {
 		c.lru = make([]uint64, n)

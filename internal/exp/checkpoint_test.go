@@ -31,7 +31,7 @@ func TestSessionCheckpointIdentity(t *testing.T) {
 	for _, cfg := range goldenCases() {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
-			cold := goldenExport(t, cfg)
+			cold := goldenExport(t, cfg, false)
 
 			exportWith := func(progress *bytes.Buffer) []byte {
 				s := ckptSession(dir, progress)
@@ -63,13 +63,62 @@ func TestSessionCheckpointIdentity(t *testing.T) {
 	}
 }
 
+// TestCheckpointTraceCacheInterop proves warm checkpoints are
+// interchangeable between generator-backed and replay-backed sessions: a
+// store populated with the trace cache off restores into a session with
+// it on (cursor adopts a generator snapshot), a store populated with it
+// on restores into a generator-backed session (cursor snapshots encode
+// generator bytes), and every export matches the cold reference.
+func TestCheckpointTraceCacheInterop(t *testing.T) {
+	cfg := goldenCases()[1]
+	cold := goldenExport(t, cfg, false)
+
+	exportWith := func(dir string, traceCache bool, progress *bytes.Buffer) []byte {
+		p := goldenParams()
+		p.CheckpointDir = dir
+		p.TraceCache = traceCache
+		if progress != nil {
+			p.Progress = progress
+		}
+		s := NewSession(p)
+		s.Run(cfg, goldenWorkload)
+		var buf bytes.Buffer
+		if err := s.ExportMetrics(nil).WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+
+	for _, tc := range []struct {
+		name             string
+		populate, replay bool
+	}{
+		{"generate-then-replay", false, true},
+		{"replay-then-generate", true, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if got := exportWith(dir, tc.populate, nil); !bytes.Equal(cold, got) {
+				t.Error("populating run diverged from the cold reference")
+			}
+			var log bytes.Buffer
+			if got := exportWith(dir, tc.replay, &log); !bytes.Equal(cold, got) {
+				t.Error("restored run diverged from the cold reference")
+			}
+			if !strings.Contains(log.String(), " warm ") {
+				t.Errorf("second run should restore the checkpoint, got %q", log.String())
+			}
+		})
+	}
+}
+
 // TestSessionCorruptStoreFallsBack truncates every stored checkpoint and
 // verifies the session silently degrades to cold runs with identical
 // output.
 func TestSessionCorruptStoreFallsBack(t *testing.T) {
 	dir := t.TempDir()
 	cfg := goldenCases()[1]
-	cold := goldenExport(t, cfg)
+	cold := goldenExport(t, cfg, false)
 
 	s := ckptSession(dir, nil)
 	s.Run(cfg, goldenWorkload)

@@ -5,11 +5,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -55,6 +57,21 @@ type Params struct {
 	// and populate the store. Restored runs are byte-identical to cold
 	// runs, so tables are unaffected; only wall-clock time changes.
 	CheckpointDir string
+
+	// TraceCache enables the shared memoizing workload trace cache (see
+	// workloads.TraceCache): the first design point to consume a per-core
+	// event stream records it, and every other design point on the same
+	// workload replays the recording instead of re-generating it. One
+	// cache serves the whole session, shared across the Parallelism
+	// worker pool. Replayed events are byte-identical to generated ones,
+	// so tables are unaffected at either setting; only wall-clock time
+	// changes.
+	TraceCache bool
+
+	// TraceCacheBytes caps the trace cache's recorded bytes; past it,
+	// least-recently-used recordings are dropped. Zero selects
+	// workloads.DefaultTraceCacheBytes.
+	TraceCacheBytes int64
 }
 
 // parallelism returns the effective worker count.
@@ -68,13 +85,13 @@ func (p Params) parallelism() int {
 // DefaultParams returns the full-quality setting used to produce
 // EXPERIMENTS.md: 1/256-scale capacities with adaptive instruction budgets.
 func DefaultParams() Params {
-	return Params{Scale: 256, Cores: 16, WarmupInstr: 4_000_000, MeasureInstr: 4_000_000, Seed: 1}
+	return Params{Scale: 256, Cores: 16, WarmupInstr: 4_000_000, MeasureInstr: 4_000_000, Seed: 1, TraceCache: true}
 }
 
 // QuickParams returns a reduced setting for benchmarks and smoke tests:
 // 1/1024-scale capacities and short windows.
 func QuickParams() Params {
-	return Params{Scale: 1024, Cores: 8, WarmupInstr: 400_000, MeasureInstr: 400_000, Seed: 1}
+	return Params{Scale: 1024, Cores: 8, WarmupInstr: 400_000, MeasureInstr: 400_000, Seed: 1, TraceCache: true}
 }
 
 // key identifies one design point: the workload plus every
@@ -168,6 +185,11 @@ type Session struct {
 	// saves are atomic last-writer-wins of identical content.
 	store *ckpt.Store
 
+	// traces is the shared workload trace cache, nil when disabled. It is
+	// safe for concurrent use; every worker records into and replays from
+	// the same recordings.
+	traces *workloads.TraceCache
+
 	// planning, when non-nil, turns Run into a recorder: design points
 	// are collected and zero results returned without simulating.
 	planning *planRecorder
@@ -192,7 +214,19 @@ func NewSession(p Params) *Session {
 			s.store = store
 		}
 	}
+	if p.TraceCache {
+		s.traces = workloads.NewTraceCache(p.TraceCacheBytes)
+	}
 	return s
+}
+
+// TraceCacheStats reports the session trace cache's counters; all zeros
+// when the cache is disabled.
+func (s *Session) TraceCacheStats() (traces int, bytes int64, hits, misses, evicted uint64) {
+	if s.traces == nil {
+		return 0, 0, 0, 0, 0
+	}
+	return s.traces.Stats()
 }
 
 // Params returns the session parameters.
@@ -236,8 +270,16 @@ func (s *Session) run(worker int, cfg sim.Config, workload string) sim.Result {
 	defer close(e.done)
 	start := time.Now()
 	wl := workloads.MustGet(workload, cfg.Cores)
+	if s.traces != nil && wl.Streams == nil && wl.Source == nil {
+		wl.Source = s.traces.Source(wl.Specs, cfg.AnchorLines(), cfg.Seed)
+	}
 	var restored bool
-	e.res, restored = sim.RunWithStore(cfg, wl, s.store, workload)
+	// The pprof labels make -cpuprofile output attributable per design
+	// point: `go tool pprof -tags` breaks time down by config and
+	// workload, and label filters (-tagfocus) isolate one of either.
+	pprof.Do(context.Background(), pprof.Labels("config", cfg.Name, "workload", workload), func(context.Context) {
+		e.res, restored = sim.RunWithStore(cfg, wl, s.store, workload)
+	})
 	s.progress(worker, cfg.Name, workload, e.res, restored, time.Since(start))
 	return e.res
 }

@@ -50,9 +50,11 @@ const goldenWorkload = "libquantum"
 // goldenExport runs one config and serializes its export without a
 // manifest (manifests carry wall-clock and git state, which must not be
 // part of a regression snapshot).
-func goldenExport(t *testing.T, cfg sim.Config) []byte {
+func goldenExport(t *testing.T, cfg sim.Config, traceCache bool) []byte {
 	t.Helper()
-	s := NewSession(goldenParams())
+	p := goldenParams()
+	p.TraceCache = traceCache
+	s := NewSession(p)
 	s.Run(cfg, goldenWorkload)
 	var buf bytes.Buffer
 	if err := s.ExportMetrics(nil).WriteJSON(&buf); err != nil {
@@ -65,37 +67,51 @@ func goldenExport(t *testing.T, cfg sim.Config) []byte {
 // deterministic runs against committed snapshots. Any change to
 // simulation behavior, metric naming, or export encoding shows up as a
 // field-level diff here; intentional changes are blessed with -update.
+// Every snapshot is checked twice, with the trace cache off (events come
+// straight from the generators) and on (events replay from recordings):
+// both variants must match the same golden bytes, which is the cache's
+// bit-identity acceptance test.
 func TestGoldenMetrics(t *testing.T) {
 	for _, cfg := range goldenCases() {
-		cfg := cfg
-		t.Run(cfg.Name, func(t *testing.T) {
-			t.Parallel()
-			path := filepath.Join("testdata", "golden", cfg.Name+".json")
-			got := goldenExport(t, cfg)
+		for _, traceCache := range []bool{false, true} {
+			cfg, traceCache := cfg, traceCache
+			name := cfg.Name + "/generate"
+			if traceCache {
+				name = cfg.Name + "/replay"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				path := filepath.Join("testdata", "golden", cfg.Name+".json")
+				got := goldenExport(t, cfg, traceCache)
 
-			if *update {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
+				if *update {
+					if traceCache {
+						// The generate variant owns the snapshot files.
+						t.Skip("update writes from the generate variant")
+					}
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("wrote %s (%d bytes)", path, len(got))
+					return
 				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				t.Logf("wrote %s (%d bytes)", path, len(got))
-				return
-			}
 
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
-			}
-			diffs := diffJSON(t, want, got)
-			for _, d := range diffs {
-				t.Error(d)
-			}
-			if len(diffs) > 0 {
-				t.Fatalf("%d field(s) diverged from %s; rerun with -update if intentional", len(diffs), path)
-			}
-		})
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+				}
+				diffs := diffJSON(t, want, got)
+				for _, d := range diffs {
+					t.Error(d)
+				}
+				if len(diffs) > 0 {
+					t.Fatalf("%d field(s) diverged from %s; rerun with -update if intentional", len(diffs), path)
+				}
+			})
+		}
 	}
 }
 

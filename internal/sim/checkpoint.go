@@ -18,7 +18,11 @@ const snapshotMagic = "ACRDSNAP"
 // store key and the blob header, so stale checkpoints are invalidated
 // twice over (the key no longer matches, and a blob reached through a
 // collision is rejected on decode).
-const SnapshotSchema = 1
+//
+// Schema 2: workload generator snapshots gained the event count
+// (generatorVersion 2), making them interchangeable with trace-cache
+// replay cursors.
+const SnapshotSchema = 2
 
 // SnapshotSchemaID returns a stable identifier for the snapshot schema,
 // used by CI to key the checkpoint-store cache.

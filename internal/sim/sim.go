@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -125,13 +126,13 @@ func (c Config) Validate() error {
 	case c.Scale < 1:
 		return fmt.Errorf("sim: scale %d must be >= 1", c.Scale)
 	case c.L4CapacityFull <= 0 || c.NVMCapacityFull <= 0:
-		return fmt.Errorf("sim: capacities must be positive")
+		return errors.New("sim: capacities must be positive")
 	case c.CPUGHz <= 0:
 		return fmt.Errorf("sim: CPU clock %v must be positive", c.CPUGHz)
 	case !c.UseCA && c.Ways < 1:
 		return fmt.Errorf("sim: ways %d must be >= 1", c.Ways)
 	case c.WarmupInstr < 0 || c.MeasureInstr <= 0:
-		return fmt.Errorf("sim: instruction budgets invalid")
+		return errors.New("sim: instruction budgets invalid")
 	}
 	return nil
 }
@@ -141,6 +142,18 @@ func (c Config) L4Capacity() int64 { return c.L4CapacityFull / c.Scale }
 
 // L4Lines returns the scaled DRAM-cache capacity in lines.
 func (c Config) L4Lines() uint64 { return uint64(c.L4Capacity() / memtypes.LineSize) }
+
+// AnchorLines returns the line count workload footprints are sized
+// against: the explicit anchor when configured (cache-size sweeps), the
+// scaled cache size otherwise. Stream construction — both sim.New's and
+// any external Workload.Source such as the trace cache — must use this
+// value for identically configured runs to see identical streams.
+func (c Config) AnchorLines() uint64 {
+	if c.WorkloadAnchorLines != 0 {
+		return c.WorkloadAnchorLines
+	}
+	return c.L4Lines()
+}
 
 // Result captures one simulation run.
 type Result struct {
@@ -225,9 +238,9 @@ type System struct {
 	l4    dramcache.Interface
 	hbm   *dram.Device
 	pcm   *dram.Device
-	l3    *cache.Cache         // non-nil in full-hierarchy mode
-	vmsys *vm.System           // retained for checkpointing
-	hiers []*cache.Hierarchy   // per-core L1/L2, full-hierarchy mode only
+	l3    *cache.Cache       // non-nil in full-hierarchy mode
+	vmsys *vm.System         // retained for checkpointing
+	hiers []*cache.Hierarchy // per-core L1/L2, full-hierarchy mode only
 
 	// reg is the system's metrics registry: every component registers
 	// its statistics into it at assembly time, and the final snapshot
@@ -357,19 +370,19 @@ func New(cfg Config, wl workloads.Workload) *System {
 		// remains as a fixed cost on the issue path.
 		params.SRAMLat = 0
 	}
-	anchor := cfg.WorkloadAnchorLines
-	if anchor == 0 {
-		anchor = cfg.L4Lines()
-	}
+	anchor := cfg.AnchorLines()
 	if wl.Streams != nil && len(wl.Streams) != cfg.Cores {
 		panic(fmt.Sprintf("sim: workload %s has %d streams for %d cores", wl.Name, len(wl.Streams), cfg.Cores))
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		var stream workloads.Stream
-		if wl.Streams != nil {
+		switch {
+		case wl.Source != nil:
+			stream = wl.Source(i)
+		case wl.Streams != nil:
 			stream = wl.Streams[i]
-		} else {
-			stream = workloads.NewStream(wl.Specs[i], anchor, cfg.Cores, cfg.Seed*1000+int64(i))
+		default:
+			stream = workloads.NewStream(wl.Specs[i], anchor, cfg.Cores, workloads.StreamSeed(cfg.Seed, i))
 		}
 		space := vmsys.NewSpace()
 		var mem cpu.MemorySystem = memAdapter{l4: l4}

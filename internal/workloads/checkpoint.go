@@ -13,17 +13,23 @@ type Checkpointer interface {
 
 // Per-component version bytes; bump on any encoding change.
 const (
-	generatorVersion = 1
+	// generatorVersion 2 added the event count, which lets a trace-cache
+	// replay cursor encode itself byte-identically to the generator it
+	// replays (the count is the cursor position).
+	generatorVersion = 2
 	fixedVersion     = 1
 )
 
 // Snapshot implements Checkpointer. Only the mutable per-event state is
-// stored: the RNG and each component's stride position. The spec-derived
-// fields (weights, arena bases, footprints) are rebuilt by NewStream from
-// the same spec, and the RNG state already reflects the construction-time
-// draws.
+// stored: the event count, the RNG, and each component's stride position.
+// The spec-derived fields (weights, arena bases, footprints) are rebuilt
+// by NewStream from the same spec, and the RNG state already reflects the
+// construction-time draws. A trace-cache Cursor over the same stream at
+// the same position emits exactly these bytes, so warm-state checkpoints
+// are interchangeable between generator-backed and replay-backed runs.
 func (g *generator) Snapshot(e *ckpt.Encoder) {
 	e.U8(generatorVersion)
+	e.I64(g.count)
 	g.rng.Snapshot(e)
 	e.U32(uint32(len(g.comps)))
 	for i := range g.comps {
@@ -35,6 +41,10 @@ func (g *generator) Snapshot(e *ckpt.Encoder) {
 func (g *generator) Restore(d *ckpt.Decoder) error {
 	if v := d.U8(); d.Err() == nil && v != generatorVersion {
 		d.Failf("workloads: generator snapshot version %d, want %d", v, generatorVersion)
+	}
+	count := d.I64()
+	if d.Err() == nil && count < 0 {
+		d.Failf("workloads: generator event count %d is negative", count)
 	}
 	if err := d.Err(); err != nil {
 		return err
@@ -58,6 +68,7 @@ func (g *generator) Restore(d *ckpt.Decoder) error {
 		}
 		g.comps[i].pos = pos
 	}
+	g.count = count
 	return nil
 }
 

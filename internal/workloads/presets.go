@@ -15,6 +15,13 @@ type Workload struct {
 	// Streams, when non-nil, overrides generator construction with
 	// pre-built streams (trace replay); len must equal len(Specs).
 	Streams []Stream
+	// Source, when non-nil, overrides generator construction with a
+	// per-core stream factory (it takes precedence over Streams). It must
+	// return a fresh stream positioned at event zero on every call: system
+	// assembly invokes it once per core, and a failed warm-state restore
+	// rebuilds the system — and its streams — from scratch. The trace
+	// cache plugs in here (see TraceCache.Source).
+	Source func(core int) Stream
 }
 
 // preset describes a rate-mode workload before expansion to cores.

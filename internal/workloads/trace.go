@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 
@@ -75,7 +76,7 @@ func ReadTrace(r io.Reader) (*FixedStream, error) {
 		return nil, fmt.Errorf("workloads: reading trace: %w", err)
 	}
 	if len(events) == 0 {
-		return nil, fmt.Errorf("workloads: empty trace")
+		return nil, errors.New("workloads: empty trace")
 	}
 	return &FixedStream{Events: events}, nil
 }

@@ -1,0 +1,43 @@
+package workloads
+
+import "testing"
+
+// benchWindow is the stream prefix the replay benchmark cycles over: long
+// enough to stream through several chunks, bounded so memory use does not
+// scale with b.N.
+const benchWindow = 1 << 20
+
+// BenchmarkStreamGenerate measures the cost of fresh event generation —
+// the per-event price every simulation paid before the trace cache.
+func BenchmarkStreamGenerate(b *testing.B) {
+	spec := MustGet("libquantum", 4).Specs[0]
+	s := NewStream(spec, 1<<16, 4, 1)
+	var ev Event
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next(&ev)
+	}
+}
+
+// BenchmarkStreamReplay measures the trace-cache replay fast path over a
+// pre-recorded window, cycling with a fresh cursor per window so the
+// recording never grows during the timed region.
+func BenchmarkStreamReplay(b *testing.B) {
+	spec := MustGet("libquantum", 4).Specs[0]
+	tc := NewTraceCache(0)
+	warm := tc.Stream(spec, 1<<16, 4, 1)
+	var ev Event
+	for i := 0; i < benchWindow; i++ {
+		warm.Next(&ev)
+	}
+	cur := tc.Stream(spec, 1<<16, 4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cur.Pos() == benchWindow {
+			cur = tc.Stream(spec, 1<<16, 4, 1)
+		}
+		cur.Next(&ev)
+	}
+}

@@ -108,6 +108,11 @@ type generator struct {
 	cum      []float64 // cumulative component weights
 	cumTotal float64   // cum[len(cum)-1], hoisted off the per-event path
 	comps    []componentState
+	// count is the number of events generated so far. It participates in
+	// the checkpoint encoding so a trace-cache replay cursor — whose only
+	// mutable state is its position — snapshots byte-identically to the
+	// generator it replays (see tracecache.go).
+	count int64
 }
 
 // gcd returns the greatest common divisor of a and b.
@@ -118,11 +123,22 @@ func gcd(a, b uint64) uint64 {
 	return a
 }
 
+// StreamSeed derives the per-core stream seed from a simulation seed.
+// Every stream constructor (sim.New, the trace cache, tests) must use the
+// same derivation or identically configured runs would diverge.
+func StreamSeed(seed int64, core int) int64 { return seed*1000 + int64(core) }
+
 // NewStream builds the event stream for spec on one of `cores` cores of a
 // system whose DRAM cache holds cacheLines lines. Component footprints are
 // split evenly across cores (rate mode semantics); seed individualizes the
 // core's reference order.
 func NewStream(spec Spec, cacheLines uint64, cores int, seed int64) Stream {
+	return newGenerator(spec, cacheLines, cores, seed)
+}
+
+// newGenerator is NewStream with a concrete return type; the trace cache
+// needs the generator's snapshot machinery.
+func newGenerator(spec Spec, cacheLines uint64, cores int, seed int64) *generator {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
@@ -201,6 +217,7 @@ func (g *generator) Next(ev *Event) {
 	ev.Line = c.base + memtypes.LineAddr(off)
 	ev.Write = g.rng.Float64() < g.spec.WriteFrac
 	ev.Dep = !ev.Write && g.rng.Float64() < g.spec.DepFrac
+	g.count++
 }
 
 // FixedStream replays a fixed slice of events cyclically; used by tests
