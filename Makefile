@@ -7,9 +7,12 @@ GO ?= go
 # Benchmark-trajectory settings: the paper-artifact suite, run -count
 # times and reduced to medians by cmd/benchjson. BENCH_JSON is the
 # committed trajectory file CI compares fresh runs against.
-BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl|BenchmarkCkpt|BenchmarkTraceSession
+BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl|BenchmarkCkpt|BenchmarkTraceSession|BenchmarkFunctionalStep|BenchmarkSampledRun
 BENCH_COUNT   ?= 3
-BENCH_JSON    ?= BENCH_PR5.json
+BENCH_JSON    ?= BENCH_PR6.json
+# Packages holding trajectory benchmarks: the paper-artifact suite at the
+# repo root plus the sampling benchmarks next to the sampling driver.
+BENCH_PKGS    ?= . ./internal/sim
 
 # Lint: staticcheck at a pinned version, resolved through the module
 # proxy by `go run` (not a repo dependency). Requires network access on
@@ -55,14 +58,14 @@ bench-smoke:
 # Capture the benchmark trajectory: run the paper-artifact suite and
 # reduce it to a committed JSON document (medians, geomean, manifest).
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count $(BENCH_COUNT) -timeout 3600s . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count $(BENCH_COUNT) -timeout 3600s $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
 # Compare a fresh capture against the committed baseline; warns at a
 # 15% geomean regression and fails at 30% (wall-clock benchmarks on
 # shared runners are noisy — see cmd/benchjson).
 bench-compare:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count $(BENCH_COUNT) -timeout 3600s . \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 1x -count $(BENCH_COUNT) -timeout 3600s $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_current.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) /tmp/bench_current.json
 

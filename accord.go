@@ -45,6 +45,13 @@ type (
 	Result = sim.Result
 	// PolicyFactory builds a way policy for a cache geometry.
 	PolicyFactory = sim.PolicyFactory
+	// SamplingConfig enables SMARTS-style interval sampling on a Config.
+	SamplingConfig = sim.SamplingConfig
+	// SampleSummary reports a sampled run's estimates with confidence
+	// intervals (Result.Sampled).
+	SampleSummary = sim.SampleSummary
+	// MetricCI is one sampled estimate: mean ± Student-t half-width.
+	MetricCI = sim.MetricCI
 
 	// Policy couples way-install and way-prediction (the ACCORD framework).
 	Policy = core.Policy
@@ -113,6 +120,9 @@ var (
 	LRU2Way = sim.LRU2Way
 	// NamedConfig resolves an organization by CLI-style name.
 	NamedConfig = sim.Named
+	// DefaultSampling is a reasonable interval-sampling layout for a
+	// given period (5% detailed, 2.5% detailed-unmeasured re-warm).
+	DefaultSampling = sim.DefaultSampling
 
 	// HBM and PCMConfig are the Table III device parameter sets.
 	HBM       = dram.HBM

@@ -23,6 +23,7 @@ import (
 
 	"accord/internal/exp"
 	"accord/internal/metrics"
+	"accord/internal/sim"
 )
 
 // manifestConfig records the effective benchmark parameters for the run
@@ -37,6 +38,8 @@ func manifestConfig(p exp.Params, experiment string) map[string]interface{} {
 		"epoch_instr":   p.EpochInstr,
 		"parallelism":   p.Parallelism,
 		"trace_cache":   p.TraceCache,
+		"sample_period": p.Sampling.Period,
+		"sample_ci":     p.Sampling.TargetCI,
 	}
 }
 
@@ -52,6 +55,8 @@ func main() {
 		verbose    = flag.Bool("v", false, "log each simulation as it completes")
 		metricsOut = flag.String("metrics-out", "", "write structured metrics for every simulation to this file (.csv for CSV + manifest sidecar, otherwise JSON)")
 		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshots only)")
+		sample     = flag.Int64("sample", 0, "interval-sampling period in instructions per core (0 = exact detailed runs); sampled tables are estimates whose CIs go to -metrics-out")
+		ci         = flag.Float64("ci", 0.05, "with -sample: stop each run early once its IPC estimate's relative CI half-width reaches this (0 = run every planned interval)")
 		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: skip warmup for design points with a stored checkpoint, populate it for the rest")
 		traceCache = flag.Bool("trace-cache", true, "share one recording of each workload stream across every design point instead of re-generating it per run")
 		traceMB    = flag.Int64("trace-cache-mb", 0, "trace cache byte budget in MiB (0 = default)")
@@ -106,6 +111,20 @@ func main() {
 	case *metricsOut != "":
 		// Auto: ~8 epochs across the nominal measured window.
 		p.EpochInstr = p.MeasureInstr * int64(p.Cores) / 8
+	}
+	if *sample > 0 {
+		// Interval sampling replaces the epoch series with a per-interval
+		// one and takes over the measured-phase layout (Session.apply
+		// forces the compatible budget settings).
+		sc := sim.DefaultSampling(*sample)
+		sc.TargetCI = *ci
+		if need := int64(sc.MinIntervals) * sc.Period; need > p.MeasureInstr {
+			fmt.Fprintf(os.Stderr,
+				"-sample %d needs %d measured instructions per core for %d intervals; this run measures %d (use -sample <= %d)\n",
+				*sample, need, sc.MinIntervals, p.MeasureInstr, p.MeasureInstr/int64(sc.MinIntervals))
+			os.Exit(2)
+		}
+		p.Sampling = sc
 	}
 
 	var todo []exp.Experiment

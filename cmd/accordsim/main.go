@@ -40,6 +40,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of a table")
 		metricsOut = flag.String("metrics-out", "", "write structured metrics to this file (.csv for CSV + manifest sidecar, otherwise JSON)")
 		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshot only)")
+		sample     = flag.Int64("sample", 0, "interval-sampling period in instructions per core (0 = exact detailed run); each period is mostly functional fast-forward with a short detailed measured window, and results carry Student-t confidence intervals")
+		ci         = flag.Float64("ci", 0.05, "with -sample: stop early once the IPC estimate's relative CI half-width reaches this (0 = run every planned interval)")
 		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: restore the warmup/measure boundary when a matching checkpoint exists, populate it otherwise (ignored with -trace)")
 		traceCache = flag.Bool("trace-cache", true, "record each workload stream once and replay it, sharing the recording with the -baseline run (ignored with -trace)")
 		ckptSchema = flag.Bool("ckpt-schema", false, "print the checkpoint schema ID (for cache keys) and exit")
@@ -73,7 +75,21 @@ func main() {
 	cfg.WarmupInstr = *warmup
 	cfg.MeasureInstr = *measure
 	cfg.Seed = *seed
-	cfg.EpochInstr = epochInstr(*epoch, *metricsOut != "", cfg)
+	if *sample > 0 {
+		// Interval sampling owns the measured-phase layout and records a
+		// per-interval metric series, so adaptive budgets and epoch
+		// sampling are both ceded to it.
+		sc := sim.DefaultSampling(*sample)
+		sc.TargetCI = *ci
+		cfg.Sampling = sc
+		cfg.DisableAdaptiveBudgets = true
+	} else {
+		cfg.EpochInstr = epochInstr(*epoch, *metricsOut != "", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var wl workloads.Workload
 	var err2 error
@@ -115,6 +131,7 @@ func main() {
 				Cycles:       res.Cycles,
 				MeanIPC:      res.MeanIPC(),
 				HitRate:      res.HitRate(),
+				Sampled:      exportSampled(res.Sampled),
 				Metrics:      res.Metrics,
 			}},
 		}
@@ -139,6 +156,7 @@ func main() {
 		base.Scale, base.Cores = cfg.Scale, cfg.Cores
 		base.WarmupInstr, base.MeasureInstr, base.Seed = cfg.WarmupInstr, cfg.MeasureInstr, cfg.Seed
 		base.DisableAdaptiveBudgets = cfg.DisableAdaptiveBudgets
+		base.Sampling = cfg.Sampling
 		if *trace != "" {
 			// Trace streams are stateful; the baseline needs a fresh replay.
 			wl, err2 = loadTrace(*trace, cfg.Cores)
@@ -235,8 +253,62 @@ func printResult(cfg sim.Config, res sim.Result) {
 	t.AddRowf("mean IPC", fmt.Sprintf("%.4f", gaugeOr(snap, "cpu.mean_ipc", res.MeanIPC())))
 	fmt.Print(t.Render())
 
+	if ss := res.Sampled; ss != nil {
+		state := "budget exhausted"
+		if ss.Converged {
+			state = "converged early"
+		}
+		fmt.Printf("\nsampled: %d/%d intervals (%s), %g%% confidence\n",
+			ss.Intervals, ss.Planned, state, 100*ss.Confidence)
+		printCI("  IPC", ss.IPC)
+		printCI("  hit rate", ss.HitRate)
+		printCI("  MPKI", ss.MPKI)
+	}
+
 	b := energy.Compute(cfg.HBM, res.HBM, cfg.PCM, res.PCM, res.Cycles, cfg.CPUGHz)
 	fmt.Printf("\nenergy: %.4f J total (%.2f W avg, EDP %.5f J·s)\n", b.Total(), b.Power(), b.EDP())
+}
+
+// printCI renders one sampled estimate, following the undefined-not-zero
+// convention: no observations prints n/a, a single observation prints the
+// mean without a half-width.
+func printCI(label string, m sim.MetricCI) {
+	switch {
+	case !m.Valid():
+		fmt.Printf("%-10s n/a (no intervals observed it)\n", label)
+	case !m.OK:
+		fmt.Printf("%-10s %.4f (single interval, no CI)\n", label, m.Mean)
+	default:
+		fmt.Printf("%-10s %.4f ± %.4f\n", label, m.Mean, m.Half)
+	}
+}
+
+// exportSampled converts the sampling summary to its export form; nil for
+// exact runs.
+func exportSampled(ss *sim.SampleSummary) *metrics.Sampled {
+	if ss == nil {
+		return nil
+	}
+	conv := func(m sim.MetricCI) *metrics.SampledCI {
+		if !m.Valid() {
+			return nil
+		}
+		out := &metrics.SampledCI{Mean: m.Mean, Intervals: m.N}
+		if m.OK {
+			half := m.Half
+			out.Half = &half
+		}
+		return out
+	}
+	return &metrics.Sampled{
+		Intervals:  ss.Intervals,
+		Planned:    ss.Planned,
+		Converged:  ss.Converged,
+		Confidence: ss.Confidence,
+		IPC:        conv(ss.IPC),
+		HitRate:    conv(ss.HitRate),
+		MPKI:       conv(ss.MPKI),
+	}
 }
 
 // gaugeOr reads a gauge, substituting fallback when it is undefined.

@@ -40,6 +40,28 @@ func (c *Core) Snapshot(e *ckpt.Encoder) error {
 	return nil
 }
 
+// FunctionalSnapshot serializes only the core state functional
+// fast-forwarding defines: retired instructions, the issue-width carry,
+// the event-mix counters, and the stream cursor. The clock, MSHR
+// completion times, MSHR-stall counter, and window marks are timing
+// state — a functional and a detailed run of the same events disagree on
+// them by construction — so they are deliberately excluded. Used by the
+// functional-vs-detailed differential tests (sim.FunctionalSnapshot).
+func (c *Core) FunctionalSnapshot(e *ckpt.Encoder) error {
+	cp, ok := c.stream.(workloads.Checkpointer)
+	if !ok {
+		return fmt.Errorf("cpu: core %d stream %T does not support checkpointing", c.id, c.stream)
+	}
+	e.U8(coreVersion)
+	e.I64(c.instr)
+	e.I64(c.instCarry)
+	e.U64(c.reads)
+	e.U64(c.writes)
+	e.U64(c.depStalls)
+	cp.Snapshot(e)
+	return nil
+}
+
 // Restore replaces the core's state with a snapshot. On error the core
 // is left in an unspecified state and must be discarded.
 func (c *Core) Restore(d *ckpt.Decoder) error {

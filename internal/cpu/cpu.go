@@ -22,6 +22,17 @@ type MemorySystem interface {
 	Write(at int64, line memtypes.LineAddr)
 }
 
+// FunctionalMemory is the state-only view of the memory system used by
+// functional fast-forwarding (StepFunctional): accesses mutate tags,
+// dirty bits, replacement and steering state exactly as the timed path
+// would, but carry no timestamps and return no latency. A MemorySystem
+// that also implements FunctionalMemory opts the core into functional
+// mode.
+type FunctionalMemory interface {
+	ReadFunctional(line memtypes.LineAddr)
+	WriteFunctional(line memtypes.LineAddr)
+}
+
 // Params configures a core.
 type Params struct {
 	IssueWidth int   // instructions per cycle for non-memory work
@@ -68,9 +79,20 @@ type Core struct {
 	ev         workloads.Event // reused across Steps; &ev escapes through the Stream interface, so a local would heap-allocate every event
 	mshr       []int64         // completion cycles of in-flight misses
 
+	// Same-page translation memo. Page mappings are immutable once
+	// allocated (vm never unmaps), so caching the last page's physical
+	// base is behavior-identical and short-circuits the page-table walk
+	// for the common same-page run of a strided stream. memoVPage starts
+	// at the impossible ^0 sentinel; the memo is derived state and is
+	// deliberately absent from snapshots (a restored core re-fills it on
+	// first use).
+	memoVPage memtypes.PageNum
+	memoPBase memtypes.LineAddr // physical line 0 of memoVPage's frame
+
 	stream    workloads.Stream
 	translate Translate
 	mem       MemorySystem
+	fmem      FunctionalMemory // mem's functional view; nil when unsupported
 
 	reads, writes, depStalls, mshrStalls uint64
 
@@ -94,9 +116,11 @@ func New(id int, params Params, stream workloads.Stream, translate Translate, me
 			shift++
 		}
 	}
+	fmem, _ := mem.(FunctionalMemory)
 	return &Core{
 		id:         id,
 		params:     params,
+		memoVPage:  ^memtypes.PageNum(0),
 		issueWidth: w,
 		issueMask:  mask,
 		issueShift: shift,
@@ -104,6 +128,7 @@ func New(id int, params Params, stream workloads.Stream, translate Translate, me
 		stream:     stream,
 		translate:  translate,
 		mem:        mem,
+		fmem:       fmem,
 		mshr:       make([]int64, params.MSHRs),
 	}
 }
@@ -116,6 +141,18 @@ func (c *Core) Time() int64 { return c.time }
 
 // Instructions returns the total instructions retired.
 func (c *Core) Instructions() int64 { return c.instr }
+
+// translateLine resolves a virtual line through the same-page memo,
+// falling back to the full translation on a page change.
+func (c *Core) translateLine(vl memtypes.LineAddr) memtypes.LineAddr {
+	if vp := vl.Page(); vp == c.memoVPage {
+		return c.memoPBase + memtypes.LineAddr(vl.PageOffset())
+	}
+	pl := c.translate(vl)
+	c.memoVPage = vl.Page()
+	c.memoPBase = pl - memtypes.LineAddr(vl.PageOffset())
+	return pl
+}
 
 // Step consumes and executes one workload event.
 func (c *Core) Step() {
@@ -134,7 +171,7 @@ func (c *Core) Step() {
 		c.instCarry %= c.issueWidth
 	}
 
-	line := c.translate(ev.Line)
+	line := c.translateLine(ev.Line)
 	switch {
 	case ev.Write:
 		// Dirty writeback: drains through the write buffer without
@@ -153,6 +190,46 @@ func (c *Core) Step() {
 		} else {
 			c.mshr[slot] = done
 		}
+	}
+	c.instr += int64(ev.Gap) + 1
+}
+
+// SupportsFunctional reports whether the memory system behind this core
+// implements FunctionalMemory, i.e. whether StepFunctional may be used.
+func (c *Core) SupportsFunctional() bool { return c.fmem != nil }
+
+// StepFunctional consumes one workload event mutating only functional
+// state: the stream cursor, the instruction-carry remainder, the retired
+// instruction count, the event-mix counters, and — through the
+// FunctionalMemory — every cache tag/dirty/replacement/steering table the
+// event would touch in detailed mode. The clock, MSHR occupancy, and all
+// latency accounting are skipped, which is what makes it an order of
+// magnitude cheaper per event. The functional state it leaves behind is
+// byte-identical to what the same events produce under Step.
+func (c *Core) StepFunctional() {
+	ev := &c.ev
+	c.stream.Next(ev)
+
+	// Reduce the issue-width carry exactly as Step does, minus the clock
+	// advance: (carry + gap) mod width is unchanged by dropping the
+	// quotient, so instCarry stays byte-identical to detailed mode.
+	c.instCarry += int64(ev.Gap)
+	if c.issueMask >= 0 {
+		c.instCarry &= c.issueMask
+	} else {
+		c.instCarry %= c.issueWidth
+	}
+
+	line := c.translateLine(ev.Line)
+	if ev.Write {
+		c.writes++
+		c.fmem.WriteFunctional(line)
+	} else {
+		c.reads++
+		if ev.Dep {
+			c.depStalls++
+		}
+		c.fmem.ReadFunctional(line)
 	}
 	c.instr += int64(ev.Gap) + 1
 }

@@ -266,6 +266,12 @@ type Interface interface {
 	Name() string
 	AccessRead(at int64, line memtypes.LineAddr) ReadResult
 	Writeback(at int64, line memtypes.LineAddr) int64
+	// AccessReadFunctional and WritebackFunctional are the state-only
+	// counterparts of AccessRead/Writeback used by functional
+	// fast-forwarding: same tag/dirty/replacement/policy mutations, no
+	// device traffic, no Stats, no timestamps (see functional.go).
+	AccessReadFunctional(line memtypes.LineAddr) (way uint8, hit bool)
+	WritebackFunctional(line memtypes.LineAddr)
 	Contains(line memtypes.LineAddr) (way int, ok bool)
 	Stats() *Stats
 	ResetStats()

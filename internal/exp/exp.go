@@ -72,6 +72,18 @@ type Params struct {
 	// least-recently-used recordings are dropped. Zero selects
 	// workloads.DefaultTraceCacheBytes.
 	TraceCacheBytes int64
+
+	// Sampling, when enabled (Period > 0), runs every simulation in the
+	// session as a SMARTS-style interval-sampled run (see sim.Config.
+	// Sampling): warmup and most of the measured phase execute in
+	// functional fast-forward mode, short detailed windows produce
+	// per-interval observations, and results report means with Student-t
+	// confidence intervals. Sampling changes reported numbers (they are
+	// estimates of the exact run's values, with quoted CIs), so sampled
+	// sessions memoize separately from exact ones. It forces
+	// DisableAdaptiveBudgets and supersedes EpochInstr (sampled runs get
+	// a per-interval series instead of an epoch series).
+	Sampling sim.SamplingConfig
 }
 
 // parallelism returns the effective worker count.
@@ -126,6 +138,7 @@ type key struct {
 	MeasureInstr           int64
 	DisableAdaptiveBudgets bool
 	EpochInstr             int64
+	Sampling               sim.SamplingConfig
 
 	Seed int64
 }
@@ -155,6 +168,7 @@ func makeKey(cfg sim.Config, workload string) key {
 		MeasureInstr:           cfg.MeasureInstr,
 		DisableAdaptiveBudgets: cfg.DisableAdaptiveBudgets,
 		EpochInstr:             cfg.EpochInstr,
+		Sampling:               cfg.Sampling,
 		Seed:                   cfg.Seed,
 	}
 }
@@ -240,6 +254,14 @@ func (s *Session) apply(cfg sim.Config) sim.Config {
 	cfg.MeasureInstr = s.p.MeasureInstr
 	cfg.Seed = s.p.Seed
 	cfg.EpochInstr = s.p.EpochInstr
+	if s.p.Sampling.Enabled() {
+		// Interval sampling owns the measured-phase layout and the metric
+		// series; adaptive budgets and epoch sampling would fight it (see
+		// SamplingConfig.validate for why these are rejected).
+		cfg.Sampling = s.p.Sampling
+		cfg.DisableAdaptiveBudgets = true
+		cfg.EpochInstr = 0
+	}
 	return cfg
 }
 

@@ -83,6 +83,39 @@ func toRun(res sim.Result) metrics.Run {
 		Cycles:       res.Cycles,
 		MeanIPC:      res.MeanIPC(),
 		HitRate:      res.HitRate(),
+		Sampled:      toSampled(res.Sampled),
 		Metrics:      res.Metrics,
 	}
+}
+
+// toSampled converts a sampling summary to its export form; nil in, nil
+// out (exact runs carry no sampled block).
+func toSampled(ss *sim.SampleSummary) *metrics.Sampled {
+	if ss == nil {
+		return nil
+	}
+	return &metrics.Sampled{
+		Intervals:  ss.Intervals,
+		Planned:    ss.Planned,
+		Converged:  ss.Converged,
+		Confidence: ss.Confidence,
+		IPC:        toSampledCI(ss.IPC),
+		HitRate:    toSampledCI(ss.HitRate),
+		MPKI:       toSampledCI(ss.MPKI),
+	}
+}
+
+// toSampledCI converts one estimate, preserving the undefined-not-zero
+// convention: no observations → absent block; one observation → mean
+// without a half-width.
+func toSampledCI(m sim.MetricCI) *metrics.SampledCI {
+	if !m.Valid() {
+		return nil
+	}
+	out := &metrics.SampledCI{Mean: m.Mean, Intervals: m.N}
+	if m.OK {
+		half := m.Half
+		out.Half = &half
+	}
+	return out
 }

@@ -21,6 +21,32 @@ type RunMetrics struct {
 	Series *SeriesData `json:"series,omitempty"`
 }
 
+// SampledCI is one interval-sampled estimate in an export: the mean of
+// the per-interval observations and its Student-t confidence-interval
+// half-width (the run's Sampled.Confidence gives the level). Half is
+// omitted when fewer than two intervals observed the metric — undefined,
+// not zero.
+type SampledCI struct {
+	Mean      float64  `json:"mean"`
+	Half      *float64 `json:"ci_half,omitempty"`
+	Intervals int      `json:"intervals"`
+}
+
+// Sampled summarizes a SMARTS-style interval-sampled run: how many
+// measured intervals ran versus planned, whether the run converged early
+// at its target CI, and the headline estimates with their ±CI
+// half-widths. Present only on sampled runs.
+type Sampled struct {
+	Intervals  int     `json:"intervals"`
+	Planned    int     `json:"planned"`
+	Converged  bool    `json:"converged"`
+	Confidence float64 `json:"confidence"`
+
+	IPC     *SampledCI `json:"ipc,omitempty"`
+	HitRate *SampledCI `json:"hit_rate,omitempty"`
+	MPKI    *SampledCI `json:"mpki,omitempty"`
+}
+
 // Run is one simulation's entry in an export: identity, headline
 // numbers, and the full metrics bundle.
 type Run struct {
@@ -31,6 +57,11 @@ type Run struct {
 	Cycles       int64   `json:"cycles"`
 	MeanIPC      float64 `json:"mean_ipc"`
 	HitRate      float64 `json:"hit_rate"`
+
+	// Sampled carries the interval-sampling summary for sampled runs; the
+	// headline numbers above are then the sampled means, and the series in
+	// Metrics holds one sample per measured interval instead of per epoch.
+	Sampled *Sampled `json:"sampled,omitempty"`
 
 	Metrics *RunMetrics `json:"metrics,omitempty"`
 }

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"accord/internal/workloads"
+)
+
+// BenchmarkFunctionalStep measures the per-instruction cost of the
+// functional fast-forward path in the configuration sampling runs it:
+// consuming trace-cache events with StepFunctional, against the detailed
+// path generating its own stream over the same instruction budget. Each
+// iteration warms a fresh system off the clock and times one 2M-instr
+// advance, so ns/op ÷ 2e6 is ns/instruction; allocs/op on the functional
+// variant is the zero-alloc contract (also enforced per event by
+// TestFunctionalStepZeroAlloc). The functional/detailed ratio is the
+// sampling speedup recorded in BENCH_PR6.json and discussed in
+// DESIGN.md §9.5.
+func BenchmarkFunctionalStep(b *testing.B) {
+	cfg := ACCORD(2)
+	cfg.Scale = 8192
+	cfg.Cores = 1
+	cfg.WarmupInstr = 500_000
+	cfg.MeasureInstr = 40_000
+	cfg.Seed = 1
+	cfg.DisableAdaptiveBudgets = true
+
+	gen := workloads.MustGet("libquantum", cfg.Cores)
+	tc := workloads.NewTraceCache(1 << 30)
+	rep := gen
+	rep.Source = tc.Source(gen.Specs, cfg.AnchorLines(), cfg.Seed)
+
+	const chunk = 2_000_000
+	// Record the stream once, off the clock, so timed replays never
+	// extend the recording.
+	{
+		s := New(cfg, rep)
+		s.RunWarmupFunctional()
+		s.advanceFunctional([]int64{s.Cores()[0].Instructions() + chunk})
+	}
+
+	run := func(b *testing.B, wl workloads.Workload, functional bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := New(cfg, wl)
+			s.RunWarmupFunctional()
+			targets := []int64{s.Cores()[0].Instructions() + chunk}
+			b.StartTimer()
+			if functional {
+				s.advanceFunctional(targets)
+			} else {
+				s.advanceUntil(targets)
+			}
+		}
+	}
+
+	b.Run("functional", func(b *testing.B) { run(b, rep, true) })
+	b.Run("detailed", func(b *testing.B) { run(b, gen, false) })
+}
+
+// BenchmarkSampledRun measures one full design point end to end: a
+// SMARTS-style sampled run (functional fast-forward between detailed
+// windows) against the exact fully-detailed run it estimates. Same
+// config pair as TestSampledWithinCIOfExact, so the wall-clock gap here
+// is exactly what buys the equivalence that test proves.
+func BenchmarkSampledRun(b *testing.B) {
+	exact, sampled := sampledBase(ACCORD(2))
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			wl := workloads.MustGet("libquantum", cfg.Cores)
+			if res := New(cfg, wl).Run("libquantum"); res.Instructions == 0 {
+				b.Fatal("run retired no instructions")
+			}
+		}
+	}
+	b.Run("sampled", func(b *testing.B) { run(b, sampled) })
+	b.Run("exact", func(b *testing.B) { run(b, exact) })
+}

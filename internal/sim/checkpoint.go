@@ -49,6 +49,8 @@ type l4Checkpointer interface {
 //     identically and share a checkpoint.
 //   - MeasureInstr: consumed strictly after the boundary.
 //   - EpochInstr: sampling is passive and starts at the boundary.
+//   - Sampling: interval sampling only changes how the measured phase is
+//     executed; the warm state it needs is the same one.
 func (s *System) WarmFingerprint(wlName string) string {
 	c := s.cfg
 	return fmt.Sprintf("%s|wl=%s|l4=%s/%d|cores=%d|iw=%d|mshrs=%d|ghz=%g|sram=%d|"+
@@ -90,6 +92,46 @@ func (s *System) Snapshot(wlName string) ([]byte, error) {
 	e.U32(uint32(len(s.cores)))
 	for _, c := range s.cores {
 		if err := c.Snapshot(e); err != nil {
+			return nil, err
+		}
+	}
+	e.Bool(s.cfg.FullHierarchy)
+	if s.cfg.FullHierarchy {
+		s.l3.Snapshot(e)
+		for _, h := range s.hiers {
+			h.Snapshot(e)
+		}
+	}
+	return e.Finish(), nil
+}
+
+// FunctionalSnapshot serializes exactly the state functional
+// fast-forwarding defines: the VM system (page tables, frame allocator,
+// RNG), the L4 organization (tags, dirty bits, LRU stamps, policy tables
+// + RNG + diagnostic counters; its stats section is zero at the warmup
+// boundary in both modes), the functional core subset (retired
+// instructions, issue carry, event-mix counters, stream cursor), and —
+// in full-hierarchy mode — the SRAM caches. Timing state (core clocks,
+// MSHR completion times, DRAM row buffers and busy intervals) is
+// excluded: a functional and a detailed run of the same events disagree
+// on it by construction. The differential tests compare these bytes
+// across the two modes at the warmup boundary.
+func (s *System) FunctionalSnapshot(wlName string) ([]byte, error) {
+	l4, ok := s.l4.(l4Checkpointer)
+	if !ok {
+		return nil, fmt.Errorf("sim: L4 organization %q does not support checkpointing", s.l4.Name())
+	}
+	e := ckpt.NewEncoder(1 << 20)
+	e.Raw([]byte(snapshotMagic))
+	e.U32(SnapshotSchema)
+	e.String(s.WarmFingerprint(wlName))
+	s.vmsys.Snapshot(e)
+	if err := l4.Snapshot(e); err != nil {
+		return nil, err
+	}
+	e.U32(uint32(len(s.cores)))
+	for _, c := range s.cores {
+		if err := c.FunctionalSnapshot(e); err != nil {
 			return nil, err
 		}
 	}
@@ -183,6 +225,14 @@ func (s *System) Restore(blob []byte, wlName string) error {
 func RunWithStore(cfg Config, wl workloads.Workload, store *ckpt.Store, wlName string) (res Result, restored bool) {
 	s := New(cfg, wl)
 	if store == nil {
+		return s.Run(wlName), false
+	}
+	if cfg.Sampling.Enabled() {
+		// Sampled runs warm functionally and never sit at the single
+		// detailed warmup/measure boundary a checkpoint captures; their
+		// warmup is cheap by design, so they neither consume nor populate
+		// the store. WarmFingerprint deliberately excludes Sampling, so a
+		// detailed run of the same config still shares its key.
 		return s.Run(wlName), false
 	}
 	key := s.WarmKey(wlName)

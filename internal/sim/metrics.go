@@ -100,6 +100,11 @@ func (s *System) registerMetrics() {
 		return s.meanIPC()
 	})
 
+	// Interval-sampling estimates (absent until a sampled run finishes).
+	if s.cfg.Sampling.Enabled() {
+		s.registerSamplingMetrics()
+	}
+
 	// System-level bandwidth-bloat ratio (the paper's Figure 13 metric):
 	// DRAM-cache device bytes moved per byte of demand data. Defined via
 	// the NaN-or-ok form so an untouched system exports "absent", not 0.

@@ -1,0 +1,480 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"accord/internal/cache"
+	"accord/internal/memtypes"
+	"accord/internal/metrics"
+	"accord/internal/stats"
+)
+
+// SMARTS-style interval sampling (see DESIGN.md §9). A sampled run splits
+// the measured phase into fixed-length periods; most of each period is
+// fast-forwarded in functional mode (state only, no timing), a short
+// detailed segment re-warms the timing state the functional mode skipped
+// (row buffers, MSHRs, busy intervals), and a short detailed segment is
+// actually measured. Per-interval IPC/hit-rate/MPKI observations feed a
+// Student-t confidence interval that can stop the run early once the
+// estimate is tight enough.
+
+// SamplingConfig configures interval sampling. Sampling is enabled when
+// Period is positive; Config.Validate rejects inconsistent layouts.
+type SamplingConfig struct {
+	// Period is the per-core instruction length of one sampling interval.
+	// Each period is laid out as [functional fast-forward | WarmLen
+	// detailed unmeasured | DetailLen detailed measured]. The number of
+	// intervals is MeasureInstr / Period (capped by MaxIntervals).
+	Period int64
+	// DetailLen is the measured detailed window per period (must be
+	// positive; DetailLen + WarmLen must not exceed Period).
+	DetailLen int64
+	// WarmLen is the detailed-but-unmeasured segment run before each
+	// measured window to re-warm timing state the functional mode does
+	// not touch. Zero is allowed but biases early measurements.
+	WarmLen int64
+	// MinIntervals is the minimum number of measured intervals before
+	// early stopping may trigger (≥ 2 when TargetCI is set; the t
+	// interval needs a variance estimate).
+	MinIntervals int
+	// MaxIntervals, when positive, caps the interval count below what
+	// MeasureInstr / Period allows.
+	MaxIntervals int
+	// TargetCI is the relative confidence-interval half-width (half/mean)
+	// at which the run stops early, e.g. 0.05 for ±5%. Zero disables
+	// early stopping: every planned interval runs.
+	TargetCI float64
+	// Confidence is the CI confidence level; zero means 0.95.
+	Confidence float64
+}
+
+// Enabled reports whether interval sampling is configured.
+func (sc SamplingConfig) Enabled() bool { return sc.Period > 0 }
+
+// ConfidenceLevel returns the effective confidence level (default 0.95).
+func (sc SamplingConfig) ConfidenceLevel() float64 {
+	if sc.Confidence == 0 {
+		return 0.95
+	}
+	return sc.Confidence
+}
+
+// DefaultSampling returns a reasonable layout for a given period: 5% of
+// each period measured in detail, half that re-warming timing state, and
+// early stopping at a ±5% / 95% interval after 8 intervals.
+func DefaultSampling(period int64) SamplingConfig {
+	detail := period / 20
+	if detail < 1 {
+		detail = 1
+	}
+	return SamplingConfig{
+		Period:       period,
+		DetailLen:    detail,
+		WarmLen:      period / 40,
+		MinIntervals: 8,
+		TargetCI:     0.05,
+	}
+}
+
+// validate checks the sampling layout against the rest of the Config;
+// Config.Validate calls it.
+func (sc SamplingConfig) validate(c Config) error {
+	if !sc.Enabled() {
+		if sc.DetailLen != 0 || sc.WarmLen != 0 || sc.MinIntervals != 0 ||
+			sc.MaxIntervals != 0 || sc.TargetCI != 0 || sc.Confidence != 0 {
+			return errors.New("sim: sampling fields set but Sampling.Period is zero; set Period to enable interval sampling")
+		}
+		return nil
+	}
+	switch {
+	case sc.DetailLen <= 0:
+		return fmt.Errorf("sim: sampling DetailLen %d must be positive", sc.DetailLen)
+	case sc.WarmLen < 0:
+		return fmt.Errorf("sim: sampling WarmLen %d must be >= 0", sc.WarmLen)
+	case sc.DetailLen+sc.WarmLen > sc.Period:
+		return fmt.Errorf("sim: sampling DetailLen %d + WarmLen %d exceed Period %d",
+			sc.DetailLen, sc.WarmLen, sc.Period)
+	case sc.MinIntervals < 0 || sc.MaxIntervals < 0:
+		return errors.New("sim: sampling interval counts must be >= 0")
+	case sc.MaxIntervals > 0 && sc.MinIntervals > sc.MaxIntervals:
+		return fmt.Errorf("sim: sampling MinIntervals %d exceeds MaxIntervals %d",
+			sc.MinIntervals, sc.MaxIntervals)
+	case sc.TargetCI < 0 || sc.TargetCI >= 1 || math.IsNaN(sc.TargetCI):
+		return fmt.Errorf("sim: sampling TargetCI %v must be in [0, 1)", sc.TargetCI)
+	case sc.TargetCI > 0 && sc.MinIntervals < 2:
+		return fmt.Errorf("sim: sampling TargetCI %v needs MinIntervals >= 2 (a confidence interval needs a variance estimate)", sc.TargetCI)
+	case sc.Confidence != 0 && (sc.Confidence <= 0 || sc.Confidence >= 1 || math.IsNaN(sc.Confidence)):
+		return fmt.Errorf("sim: sampling Confidence %v must be in (0, 1)", sc.Confidence)
+	}
+	if !c.DisableAdaptiveBudgets {
+		return errors.New("sim: sampling requires DisableAdaptiveBudgets: adaptive windows would silently override the Period-by-intervals layout derived from MeasureInstr")
+	}
+	if c.EpochInstr > 0 {
+		return errors.New("sim: sampling and EpochInstr both record a metric series over the same registry; sampled runs get a per-interval series automatically")
+	}
+	if c.MeasureInstr < sc.Period {
+		return fmt.Errorf("sim: MeasureInstr %d holds no complete sampling period %d", c.MeasureInstr, sc.Period)
+	}
+	if max := c.MeasureInstr / sc.Period; int64(sc.MinIntervals) > max {
+		return fmt.Errorf("sim: sampling MinIntervals %d needs %d instructions, MeasureInstr is %d",
+			sc.MinIntervals, int64(sc.MinIntervals)*sc.Period, c.MeasureInstr)
+	}
+	return nil
+}
+
+// MetricCI is one sampled estimate: the mean of the per-interval
+// observations and its Student-t confidence-interval half-width. OK is
+// false (and Half meaningless) with fewer than two observations,
+// following the stats package's undefined-not-zero convention.
+type MetricCI struct {
+	Mean float64
+	Half float64
+	N    int
+	OK   bool
+}
+
+// Valid reports whether Mean is a usable estimate (at least one
+// observation; OK additionally requires a CI).
+func (m MetricCI) Valid() bool { return m.N > 0 && !math.IsNaN(m.Mean) }
+
+// SampleSummary reports how a sampled run went.
+type SampleSummary struct {
+	// Intervals is the number of measured intervals that actually ran;
+	// Planned is how many the budget allowed.
+	Intervals int
+	Planned   int
+	// Converged is true when the run stopped early because the IPC
+	// interval tightened below TargetCI.
+	Converged bool
+	// Confidence is the level the intervals are quoted at.
+	Confidence float64
+
+	IPC     MetricCI // mean of per-core window IPCs, per interval
+	HitRate MetricCI // L4 demand-read hit rate over the measured windows
+	MPKI    MetricCI // L4 misses per kilo-instruction over the measured windows
+}
+
+// functional views of the two memory adapters: identical state
+// transitions, no timestamps. These make every core's MemorySystem also
+// a cpu.FunctionalMemory, opting the whole system into StepFunctional.
+
+// ReadFunctional implements cpu.FunctionalMemory.
+func (m memAdapter) ReadFunctional(line memtypes.LineAddr) {
+	m.l4.AccessReadFunctional(line)
+}
+
+// WriteFunctional implements cpu.FunctionalMemory.
+func (m memAdapter) WriteFunctional(line memtypes.LineAddr) {
+	m.l4.WritebackFunctional(line)
+}
+
+// ReadFunctional implements cpu.FunctionalMemory: the SRAM hierarchy's
+// state transitions are already timing-free (Access/FillFromBelow mutate
+// identically whatever the clock says), so the functional path reuses
+// them and only swaps the L4 calls for their functional counterparts.
+func (m hierAdapter) ReadFunctional(line memtypes.LineAddr) {
+	out := m.h.Access(line, false)
+	m.sinkFunctional(out.Writebacks)
+	if out.Level < 4 {
+		return
+	}
+	way, _ := m.l4.AccessReadFunctional(line)
+	m.sinkFunctional(m.h.FillFromBelow(line, false, cache.DCP{Present: true, Way: way}))
+}
+
+// WriteFunctional implements cpu.FunctionalMemory.
+func (m hierAdapter) WriteFunctional(line memtypes.LineAddr) {
+	out := m.h.Access(line, true)
+	m.sinkFunctional(out.Writebacks)
+	if out.Level < 4 {
+		return
+	}
+	way, _ := m.l4.AccessReadFunctional(line)
+	m.sinkFunctional(m.h.FillFromBelow(line, true, cache.DCP{Present: true, Way: way}))
+}
+
+func (m hierAdapter) sinkFunctional(wbs []cache.Writeback) {
+	for _, wb := range wbs {
+		m.l4.WritebackFunctional(wb.Line)
+	}
+}
+
+// SupportsFunctional reports whether every core can fast-forward
+// functionally (true for both adapter kinds; false only for externally
+// injected memory systems).
+func (s *System) SupportsFunctional() bool {
+	for _, c := range s.cores {
+		if !c.SupportsFunctional() {
+			return false
+		}
+	}
+	return len(s.cores) > 0
+}
+
+// advanceFunctional fast-forwards every core i to targets[i] total
+// retired instructions using StepFunctional, interleaving cores
+// round-robin one event at a time (functional mode has no clock to order
+// by). No overshoot pacing: without timing there is no shared-resource
+// contention for finished cores to sustain.
+func (s *System) advanceFunctional(targets []int64) {
+	if len(s.cores) == 1 {
+		c := s.cores[0]
+		for t := targets[0]; c.Instructions() < t; {
+			c.StepFunctional()
+		}
+		return
+	}
+	s.ensureRunBuffers()
+	done := s.done
+	remaining := 0
+	for i, c := range s.cores {
+		done[i] = c.Instructions() >= targets[i]
+		if !done[i] {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		for i, c := range s.cores {
+			if done[i] {
+				continue
+			}
+			c.StepFunctional()
+			if c.Instructions() >= targets[i] {
+				done[i] = true
+				remaining--
+			}
+		}
+	}
+}
+
+// RunWarmupFunctional is RunWarmup with the warmup phase executed in
+// functional mode: the cache/policy/VM state at return is byte-identical
+// to a detailed warmup of the same events (single-core; multi-core runs
+// differ only in cross-core interleaving — see DESIGN.md §9), at a small
+// fraction of the cost. It panics when a core's memory system lacks a
+// functional view (a programming error: both built-in adapters have one).
+func (s *System) RunWarmupFunctional() {
+	if !s.SupportsFunctional() {
+		panic("sim: functional warmup on a system without FunctionalMemory support")
+	}
+	warm := s.adaptiveBudget(warmFactor, s.cfg.WarmupInstr)
+	targets := make([]int64, len(s.cores))
+	for i := range targets {
+		targets[i] = warm
+	}
+	s.advanceFunctional(targets)
+	s.l4.ResetStats()
+	s.hbm.ResetStats()
+	s.pcm.ResetStats()
+	if s.l3 != nil {
+		s.l3.ResetStats()
+	}
+	for _, c := range s.cores {
+		c.MarkWindow()
+	}
+}
+
+// RunSampled executes a sampled run: functional warmup, then alternating
+// functional/detailed windows per SamplingConfig, collecting
+// per-interval observations until the budget is exhausted or the IPC
+// confidence interval tightens below TargetCI. Run dispatches here when
+// sampling is enabled.
+func (s *System) RunSampled(wlName string) Result {
+	sc := s.cfg.Sampling
+	if !sc.Enabled() {
+		panic("sim: RunSampled without Sampling.Period")
+	}
+	conf := sc.ConfidenceLevel()
+
+	s.RunWarmupFunctional()
+
+	planned := s.cfg.MeasureInstr / sc.Period
+	if planned < 1 {
+		planned = 1
+	}
+	if sc.MaxIntervals > 0 && planned > int64(sc.MaxIntervals) {
+		planned = int64(sc.MaxIntervals)
+	}
+	funcLen := sc.Period - sc.WarmLen - sc.DetailLen
+
+	n := len(s.cores)
+	targets := make([]int64, n)
+	ipcObs := make([]float64, 0, planned)
+	hitObs := make([]float64, 0, planned)
+	mpkiObs := make([]float64, 0, planned)
+	coreIPCSum := make([]float64, n)
+	coreIPCN := make([]int, n)
+
+	// One sample per interval: the cumulative measured clocks only grow,
+	// so an every=1 series records exactly one sample per Tick.
+	series := metrics.NewSeries(s.reg, 1)
+
+	var mInstr, mCycles int64
+	intervals := 0
+	converged := false
+	for k := int64(0); k < planned; k++ {
+		// 1. Functional fast-forward through the bulk of the period.
+		if funcLen > 0 {
+			for i, c := range s.cores {
+				targets[i] = c.Instructions() + funcLen
+			}
+			s.advanceFunctional(targets)
+		}
+		// 2. Detailed but unmeasured: re-warm row buffers, MSHRs, and the
+		// other timing state functional mode skipped.
+		if sc.WarmLen > 0 {
+			for i, c := range s.cores {
+				targets[i] = c.Instructions() + sc.WarmLen
+			}
+			s.advanceUntil(targets)
+		}
+		// 3. Detailed and measured.
+		for _, c := range s.cores {
+			c.MarkWindow()
+		}
+		st := s.l4.Stats()
+		reads0, hits0 := st.Reads, st.ReadHits
+		for i, c := range s.cores {
+			targets[i] = c.Instructions() + sc.DetailLen
+		}
+		finish := s.advanceUntil(targets)
+
+		var instr, maxCyc int64
+		ipcSum, ipcN := 0.0, 0
+		for i := range s.cores {
+			cyc, ins := finish[i].cycles, finish[i].instr
+			instr += ins
+			if cyc > maxCyc {
+				maxCyc = cyc
+			}
+			if cyc > 0 {
+				ipc := float64(ins) / float64(cyc)
+				ipcSum += ipc
+				ipcN++
+				coreIPCSum[i] += ipc
+				coreIPCN[i]++
+			}
+		}
+		mInstr += instr
+		mCycles += maxCyc
+		intervals++
+		if ipcN > 0 {
+			ipcObs = append(ipcObs, ipcSum/float64(ipcN))
+		}
+		// Hit rate and MPKI come from L4 stat deltas across the measured
+		// window only (the warm segment's traffic is excluded by taking
+		// the baseline after step 2). An interval with no L4 reads
+		// contributes no hit-rate observation — undefined, not zero.
+		dr, dh := st.Reads-reads0, st.ReadHits-hits0
+		if dr > 0 {
+			hitObs = append(hitObs, float64(dh)/float64(dr))
+		}
+		if instr > 0 {
+			mpkiObs = append(mpkiObs, float64(dr-dh)*1000/float64(instr))
+		}
+		series.Tick(mInstr, mCycles)
+
+		if sc.TargetCI > 0 && intervals >= sc.MinIntervals {
+			if mean, half, ok := stats.MeanCI(ipcObs, conf); ok && mean > 0 && half/mean <= sc.TargetCI {
+				converged = true
+				break
+			}
+		}
+	}
+
+	sum := &SampleSummary{
+		Intervals:  intervals,
+		Planned:    int(planned),
+		Converged:  converged,
+		Confidence: conf,
+		IPC:        metricCI(ipcObs, conf),
+		HitRate:    metricCI(hitObs, conf),
+		MPKI:       metricCI(mpkiObs, conf),
+	}
+	s.sample = sum
+
+	res := Result{
+		Config:   s.cfg.Name,
+		Workload: wlName,
+		L4:       *s.l4.Stats(),
+		HBM:      s.hbm.Stats(),
+		PCM:      s.pcm.Stats(),
+		Sampled:  sum,
+	}
+	if s.l3 != nil {
+		res.L3 = s.l3.Stats()
+	}
+	for i := range s.cores {
+		if coreIPCN[i] > 0 {
+			res.IPC = append(res.IPC, coreIPCSum[i]/float64(coreIPCN[i]))
+		} else {
+			res.IPC = append(res.IPC, 0)
+		}
+	}
+	res.Cycles = mCycles
+	res.Instructions = mInstr
+	for _, c := range s.cores {
+		reads, writes, _, _ := c.Counters()
+		res.Events += int64(reads + writes)
+		res.InstructionsTotal += c.Instructions()
+	}
+	s.resIPC = res.IPC
+	rm := &metrics.RunMetrics{Final: s.reg.Snapshot()}
+	data := series.Data()
+	rm.Series = &data
+	res.Metrics = rm
+	return res
+}
+
+// metricCI folds per-interval observations into a MetricCI.
+func metricCI(obs []float64, confidence float64) MetricCI {
+	mean, half, ok := stats.MeanCI(obs, confidence)
+	return MetricCI{Mean: mean, Half: half, N: len(obs), OK: ok}
+}
+
+// registerSamplingMetrics publishes the sampled estimates; the gauges
+// read NaN (exported as absent) until the run completes.
+func (s *System) registerSamplingMetrics() {
+	r := s.reg
+	g := func(name, help string, fn func(*SampleSummary) float64) {
+		r.GaugeFunc(name, help, func() float64 {
+			if s.sample == nil {
+				return math.NaN()
+			}
+			return fn(s.sample)
+		})
+	}
+	g("sampling.intervals", "measured sampling intervals run", func(ss *SampleSummary) float64 {
+		return float64(ss.Intervals)
+	})
+	g("sampling.planned_intervals", "sampling intervals the budget allowed", func(ss *SampleSummary) float64 {
+		return float64(ss.Planned)
+	})
+	g("sampling.converged", "1 when the run stopped early at TargetCI, else 0", func(ss *SampleSummary) float64 {
+		if ss.Converged {
+			return 1
+		}
+		return 0
+	})
+	ci := func(prefix, what string, sel func(*SampleSummary) MetricCI) {
+		g("sampling."+prefix+"_mean", "sampled mean of "+what+" over measured intervals", func(ss *SampleSummary) float64 {
+			m := sel(ss)
+			if !m.Valid() {
+				return math.NaN()
+			}
+			return m.Mean
+		})
+		g("sampling."+prefix+"_ci_half", "Student-t CI half-width of "+what+" (absent below two intervals)", func(ss *SampleSummary) float64 {
+			m := sel(ss)
+			if !m.OK {
+				return math.NaN()
+			}
+			return m.Half
+		})
+	}
+	ci("ipc", "mean per-core IPC", func(ss *SampleSummary) MetricCI { return ss.IPC })
+	ci("hit_rate", "L4 demand-read hit rate", func(ss *SampleSummary) MetricCI { return ss.HitRate })
+	ci("mpki", "L4 misses per kilo-instruction", func(ss *SampleSummary) MetricCI { return ss.MPKI })
+}

@@ -91,6 +91,13 @@ type Config struct {
 	// the tables report.
 	EpochInstr int64
 
+	// Sampling, when enabled (Period > 0), switches Run to SMARTS-style
+	// interval sampling: functional fast-forward through most of the
+	// measured phase with short detailed windows, reporting means with
+	// Student-t confidence intervals (see sampling.go and DESIGN.md §9).
+	// Requires DisableAdaptiveBudgets and excludes EpochInstr.
+	Sampling SamplingConfig
+
 	Seed int64
 }
 
@@ -134,7 +141,7 @@ func (c Config) Validate() error {
 	case c.WarmupInstr < 0 || c.MeasureInstr <= 0:
 		return errors.New("sim: instruction budgets invalid")
 	}
-	return nil
+	return c.Sampling.validate(c)
 }
 
 // L4Capacity returns the scaled DRAM-cache capacity in bytes.
@@ -184,12 +191,24 @@ type Result struct {
 
 	// Metrics is the run's observability bundle: the final snapshot of
 	// every metric the system's components registered, plus the
-	// per-epoch time series when Config.EpochInstr was set.
+	// per-epoch time series when Config.EpochInstr was set (or the
+	// per-interval series of a sampled run).
 	Metrics *metrics.RunMetrics
+
+	// Sampled is non-nil for interval-sampled runs: interval counts,
+	// convergence, and the per-metric means with confidence intervals.
+	Sampled *SampleSummary
 }
 
-// HitRate returns the demand-read hit rate of the run.
-func (r Result) HitRate() float64 { return r.L4.HitRate() }
+// HitRate returns the demand-read hit rate of the run. For sampled runs
+// this is the measured-window estimate (the raw L4 stats also include
+// the unmeasured timing re-warm segments).
+func (r Result) HitRate() float64 {
+	if r.Sampled != nil && r.Sampled.HitRate.Valid() {
+		return r.Sampled.HitRate.Mean
+	}
+	return r.L4.HitRate()
+}
 
 // Accuracy returns the way-prediction accuracy of the run.
 func (r Result) Accuracy() float64 { return r.L4.PredictionAccuracy() }
@@ -253,6 +272,9 @@ type System struct {
 	// window closes, so the cpu.mean_ipc gauge's final snapshot matches
 	// Result.MeanIPC exactly (mid-run samples use the live window IPC).
 	resIPC []float64
+	// sample holds the interval-sampling summary once a sampled run
+	// completes; the sampling.* gauges read it (NaN/absent before).
+	sample *SampleSummary
 
 	// advanceUntil bookkeeping, reused across the warmup and measure
 	// phases to keep the run loop allocation-free.
@@ -426,8 +448,13 @@ func (s *System) adaptiveBudget(factor float64, configured int64) int64 {
 	return instr
 }
 
-// Run executes warmup then the measurement window and returns the result.
+// Run executes warmup then the measurement window and returns the
+// result. With Config.Sampling enabled it dispatches to the
+// interval-sampling driver instead.
 func (s *System) Run(wlName string) Result {
+	if s.cfg.Sampling.Enabled() {
+		return s.RunSampled(wlName)
+	}
 	s.RunWarmup()
 	return s.RunMeasure(wlName)
 }
@@ -520,18 +547,25 @@ type finishPoint struct {
 	instr  int64 // window instructions at crossing
 }
 
+// ensureRunBuffers lazily allocates the advance-loop scratch shared by
+// advanceUntil and advanceFunctional, keeping repeated windows (epochs,
+// sampling intervals) allocation-free.
+func (s *System) ensureRunBuffers() {
+	if s.finish == nil {
+		n := len(s.cores)
+		s.finish = make([]finishPoint, n)
+		s.done = make([]bool, n)
+		s.caps = make([]int64, n)
+	}
+}
+
 // advanceUntil steps cores in global time order until every core i has
 // retired at least targets[i] total instructions, recording each core's
 // measurement window at its crossing point. Cores that finish early keep
 // running (up to a bounded overshoot) so shared-resource contention stays
 // realistic while slower cores are still being measured.
 func (s *System) advanceUntil(targets []int64) []finishPoint {
-	n := len(s.cores)
-	if s.finish == nil {
-		s.finish = make([]finishPoint, n)
-		s.done = make([]bool, n)
-		s.caps = make([]int64, n)
-	}
+	s.ensureRunBuffers()
 	finish, done, caps := s.finish, s.done, s.caps
 	for i := range finish {
 		finish[i], done[i], caps[i] = finishPoint{}, false, 0
