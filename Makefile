@@ -76,7 +76,7 @@ bench-compare:
 # automatic and re-running this target after a behavior change simply
 # writes new keys.
 checkpoints:
-	@for org in direct accord ca; do \
+	@for org in direct accord ca banshee gemini tdram; do \
 		$(GO) run ./cmd/accordsim -workload libquantum -org $$org -ways 2 \
 			-scale 8192 -cores 4 -warmup 50000 -measure 50000 -seed 1 \
 			-checkpoint-dir $(CKPT_DIR) >/dev/null || exit 1; \

@@ -12,7 +12,7 @@
 //     it is compared against.
 //   - System configurations for every design point in the paper's figures
 //     (DirectMapped, Parallel, Serial, Idealized, PerfectWP, PWS, GWS,
-//     ACCORD, MRU, PartialTag, CACache, LRU2Way).
+//     ACCORD, MRU, PartialTag, CACache, LRU2Way, Banshee, Gemini, TDRAM).
 //   - Workloads: synthetic SPEC/GAP/HPC-calibrated streams (see
 //     internal/workloads) resolved by name, including mixes.
 //   - Experiments: one runnable artifact per table/figure of the paper.
@@ -118,6 +118,17 @@ var (
 	CACache = sim.CACache
 	// LRU2Way reproduces footnote 2's LRU replacement bandwidth tax.
 	LRU2Way = sim.LRU2Way
+	// Banshee is the page-granularity frequency-tracked organization
+	// (Banshee, MICRO 2017) behind the L4 backend registry.
+	Banshee = sim.Banshee
+	// Gemini is the hybrid set/way-mapped organization (zero-SRAM way
+	// prediction by construction).
+	Gemini = sim.Gemini
+	// TDRAM is the tag-enhanced DRAM organization (single-access hits,
+	// early miss detection).
+	TDRAM = sim.TDRAM
+	// BackendNames lists the registered L4 organization backends.
+	BackendNames = dramcache.BackendNames
 	// NamedConfig resolves an organization by CLI-style name.
 	NamedConfig = sim.Named
 	// DefaultSampling is a reasonable interval-sampling layout for a

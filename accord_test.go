@@ -76,8 +76,8 @@ func TestFacadeWorkloads(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(Experiments()) != 20 {
-		t.Errorf("experiments = %d, want 20", len(Experiments()))
+	if len(Experiments()) != 21 {
+		t.Errorf("experiments = %d, want 21", len(Experiments()))
 	}
 	if _, ok := FindExperiment("fig10"); !ok {
 		t.Error("fig10 missing")

@@ -27,7 +27,7 @@ import (
 func main() {
 	var (
 		workload   = flag.String("workload", "libquantum", "workload name (see -list)")
-		org        = flag.String("org", "accord", "organization: direct|parallel|serial|idealized|perfect|unbiased|pws|gws|accord|mru|partialtag|ca|lru")
+		org        = flag.String("org", "accord", "organization: direct|parallel|serial|idealized|perfect|unbiased|pws|gws|accord|mru|partialtag|ca|lru|banshee|gemini|tdram")
 		ways       = flag.Int("ways", 2, "associativity for N-way organizations")
 		pip        = flag.Float64("pip", 0.85, "preferred-way install probability (pws)")
 		scale      = flag.Int64("scale", 256, "capacity scale divisor (1 = full 4 GB)")

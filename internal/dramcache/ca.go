@@ -5,6 +5,7 @@ import (
 
 	"accord/internal/dram"
 	"accord/internal/memtypes"
+	"accord/internal/metrics"
 )
 
 // CACache is the Column-Associative (hash-rehash) baseline of Section VII:
@@ -77,6 +78,11 @@ func (c *CACache) ResetStats() { c.stats = Stats{} }
 
 // StorageBytes implements Interface: the CA-cache needs no SRAM metadata.
 func (c *CACache) StorageBytes() int64 { return 0 }
+
+// RegisterMetrics implements Interface.
+func (c *CACache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	c.stats.Register(r, prefix)
+}
 
 func (c *CACache) primary(line memtypes.LineAddr) uint64 { return uint64(line) & (c.sets - 1) }
 func (c *CACache) rehash(idx uint64) uint64              { return idx ^ c.flipBit }

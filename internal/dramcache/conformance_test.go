@@ -1,0 +1,33 @@
+package dramcache_test
+
+import (
+	"os"
+	"testing"
+
+	"accord/internal/dramcache"
+	"accord/internal/dramcache/dctest"
+)
+
+// TestConformance runs the shared backend contract suite (see dctest)
+// over every registered organization. ACCORD_BACKEND=<name> narrows the
+// run to one backend — the CI matrix uses this to parallelize under
+// -race.
+func TestConformance(t *testing.T) {
+	only := os.Getenv("ACCORD_BACKEND")
+	if only != "" && !dramcache.HasBackend(only) {
+		t.Fatalf("ACCORD_BACKEND=%q is not a registered backend (have %v)",
+			only, dramcache.BackendNames())
+	}
+	ran := false
+	for _, h := range dctest.Backends(1) {
+		if only != "" && h.Backend != only {
+			continue
+		}
+		ran = true
+		h := h
+		t.Run(h.Backend, func(t *testing.T) { dctest.RunAll(t, h) })
+	}
+	if !ran {
+		t.Fatal("no backend matched the filter")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"accord/internal/ckpt"
 	"accord/internal/core"
 	"accord/internal/dram"
 	"accord/internal/memtypes"
@@ -260,8 +261,11 @@ func ratioOrNaN(num, den uint64) float64 {
 	return float64(num) / float64(den)
 }
 
-// Interface is what the rest of the system needs from an L4; *Cache and
-// the column-associative variant both implement it.
+// Interface is the complete L4-organization contract: everything the rest
+// of the system needs from a DRAM-cache backend. All five bundled
+// organizations (nway, ca, banshee, gemini, tdram) implement it, and the
+// conformance suite in dctest exercises every obligation; new backends
+// register through Register and must pass the same suite.
 type Interface interface {
 	Name() string
 	AccessRead(at int64, line memtypes.LineAddr) ReadResult
@@ -269,13 +273,30 @@ type Interface interface {
 	// AccessReadFunctional and WritebackFunctional are the state-only
 	// counterparts of AccessRead/Writeback used by functional
 	// fast-forwarding: same tag/dirty/replacement/policy mutations, no
-	// device traffic, no Stats, no timestamps (see functional.go).
+	// device traffic, no Stats, no timestamps (see functional.go). A
+	// functional op sequence must leave Snapshot-identical state to the
+	// same detailed sequence (stats reset at the comparison point).
 	AccessReadFunctional(line memtypes.LineAddr) (way uint8, hit bool)
 	WritebackFunctional(line memtypes.LineAddr)
 	Contains(line memtypes.LineAddr) (way int, ok bool)
 	Stats() *Stats
 	ResetStats()
 	StorageBytes() int64
+	// Snapshot and Restore serialize the backend's complete state (tags,
+	// replacement/frequency metadata, stats, any attached policy) with a
+	// leading version byte. Restore must reject malformed input with an
+	// error — truncation, version skew, structural mismatch — and never
+	// panic; on error the instance is unspecified and must be discarded.
+	Snapshot(e *ckpt.Encoder) error
+	Restore(d *ckpt.Decoder) error
+	// CheckInvariants validates internal consistency (no duplicate
+	// residents, metadata within bounds); tests call it after random
+	// operation sequences and after restores.
+	CheckInvariants() error
+	// RegisterMetrics publishes the backend's statistics (and any
+	// sub-component metrics, e.g. an attached policy's) into r under
+	// prefix.
+	RegisterMetrics(r *metrics.Registry, prefix string)
 }
 
 // Cache is the set-associative DRAM cache model.
@@ -369,6 +390,22 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // StorageBytes reports the SRAM metadata cost of the attached policy.
 func (c *Cache) StorageBytes() int64 { return c.policy.StorageBytes() }
+
+// policyMetricSource is the optional interface a policy implements to
+// publish its own metrics (today: ACCORD's region-table diagnostics).
+type policyMetricSource interface {
+	RegisterMetrics(*metrics.Registry, string)
+}
+
+// RegisterMetrics implements Interface: the cache's own statistics under
+// prefix, plus the attached policy's metrics under "policy" when it has
+// any (the prefix the exported metric names have always used).
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	c.stats.Register(r, prefix)
+	if src, ok := c.policy.(policyMetricSource); ok {
+		src.RegisterMetrics(r, "policy")
+	}
+}
 
 // NumSets returns the set count.
 func (c *Cache) NumSets() uint64 { return c.sets }

@@ -11,6 +11,79 @@ import (
 // Conservation and accounting invariants that must hold for any
 // organization under any traffic.
 
+// registryInstance builds one instance of each registered backend on a
+// shared small geometry, with a policy attached where the backend wants
+// one, so invariant tests iterate the registry instead of hard-coding
+// organizations.
+func registryInstance(t *testing.T, name string, seed int64) Interface {
+	t.Helper()
+	dev, nvm := devices()
+	cfg := BackendConfig{
+		CapacityBytes: 256 << 10,
+		Ways:          2,
+		Lookup:        LookupPredicted,
+		Seed:          seed,
+	}
+	spec, ok := GetBackend(name)
+	if !ok {
+		t.Fatalf("backend %q vanished from the registry", name)
+	}
+	if spec.UsesPolicy {
+		cfg.Policy = core.NewACCORD(core.DefaultACCORD(cfg.Geometry(), seed))
+	}
+	c, err := NewBackend(name, cfg, Deps{Dev: dev, NVM: nvm, Frames: 1 << 16})
+	if err != nil {
+		t.Fatalf("building backend %q: %v", name, err)
+	}
+	return c
+}
+
+// TestRegistryUniversalInvariants drives every registered backend with
+// the same randomized traffic and checks the accounting identities all
+// organizations share, plus each backend's own structural invariants.
+// Organization-specific conservation laws (e.g. installs == misses,
+// which Banshee's bypass breaks by design) stay in the per-organization
+// tests below.
+func TestRegistryUniversalInvariants(t *testing.T) {
+	for _, name := range BackendNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c := registryInstance(t, name, 3)
+			r := rand.New(rand.NewSource(9))
+			for i := 0; i < 30000; i++ {
+				line := memtypes.LineAddr(r.Intn(16384))
+				if r.Intn(5) == 0 {
+					c.Writeback(0, line)
+				} else {
+					c.AccessRead(0, line)
+				}
+			}
+			s := c.Stats()
+			if s.Reads == 0 || s.ReadHits == 0 || s.Reads == s.ReadHits {
+				t.Fatalf("degenerate traffic: reads %d, hits %d", s.Reads, s.ReadHits)
+			}
+			if s.Reads != s.ReadHits+s.NVMReads {
+				t.Errorf("reads %d != hits %d + NVM reads %d", s.Reads, s.ReadHits, s.NVMReads)
+			}
+			if s.HitLatency.Count != s.ReadHits {
+				t.Errorf("hit latency count %d != hits %d", s.HitLatency.Count, s.ReadHits)
+			}
+			if s.MissLatency.Count != s.Reads-s.ReadHits {
+				t.Errorf("miss latency count %d != misses %d", s.MissLatency.Count, s.Reads-s.ReadHits)
+			}
+			if s.WritebackHits > s.Writebacks {
+				t.Errorf("writeback hits %d > writebacks %d", s.WritebackHits, s.Writebacks)
+			}
+			if s.Correct > s.Predictions {
+				t.Errorf("correct %d > predictions %d", s.Correct, s.Predictions)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
 func TestAccountingConservation(t *testing.T) {
 	for _, tc := range []struct {
 		name   string

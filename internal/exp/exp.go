@@ -126,6 +126,7 @@ type key struct {
 	Lookup         dramcache.Lookup
 	LRUReplacement bool
 	UseCA          bool
+	Backend        string
 	FullHierarchy  bool
 
 	NVMCapacityFull     int64
@@ -159,6 +160,7 @@ func makeKey(cfg sim.Config, workload string) key {
 		Lookup:                 cfg.Lookup,
 		LRUReplacement:         cfg.LRUReplacement,
 		UseCA:                  cfg.UseCA,
+		Backend:                cfg.BackendName(),
 		FullHierarchy:          cfg.FullHierarchy,
 		NVMCapacityFull:        cfg.NVMCapacityFull,
 		WorkloadAnchorLines:    cfg.WorkloadAnchorLines,
@@ -405,7 +407,7 @@ func order(id string) int {
 		"fig1": 1, "tab1": 2, "tab2": 3, "fig6": 4, "tab5": 5, "fig7": 6,
 		"tab6": 7, "fig10": 8, "tab7": 9, "fig13": 10, "fig12": 11,
 		"tab8": 12, "tab9": 13, "fig14": 14, "tab10": 15, "fig15": 16, "lru": 17,
-		"ablgws": 18, "ablsws": 19, "ablhier": 20,
+		"ablgws": 18, "ablsws": 19, "ablhier": 20, "backends": 21,
 	}
 	if n, ok := idx[id]; ok {
 		return n

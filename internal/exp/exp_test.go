@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "tab1", "tab2", "fig6", "tab5", "fig7", "tab6", "fig10",
 		"tab7", "fig13", "fig12", "tab8", "tab9", "fig14", "tab10", "fig15", "lru",
-		"ablgws", "ablsws", "ablhier",
+		"ablgws", "ablsws", "ablhier", "backends",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {

@@ -39,10 +39,14 @@ func goldenParams() Params {
 	}
 }
 
-// goldenCases covers the three architectures the paper contrasts: the
-// direct-mapped baseline, ACCORD with 2-way PWS/GWS, and the CA-cache.
+// goldenCases covers the three architectures the paper contrasts — the
+// direct-mapped baseline, ACCORD with 2-way PWS/GWS, and the CA-cache —
+// plus the pluggable organizations behind the backend registry.
 func goldenCases() []sim.Config {
-	return []sim.Config{sim.DirectMapped(), sim.ACCORD(2), sim.CACache()}
+	return []sim.Config{
+		sim.DirectMapped(), sim.ACCORD(2), sim.CACache(),
+		sim.Banshee(), sim.Gemini(), sim.TDRAM(2),
+	}
 }
 
 const goldenWorkload = "libquantum"

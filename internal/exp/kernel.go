@@ -11,7 +11,10 @@ import (
 )
 
 // kernelCache builds a small 2-way cache with a PWS policy for the cyclic
-// reference kernel of Section IV-B-1.
+// reference kernel of Section IV-B-1. This deliberately constructs the
+// concrete nway organization rather than going through the backend
+// registry: the kernel is a microbenchmark of PWS way-steering mechanics,
+// not an organization comparison, so it is pinned to the paper's cache.
 func kernelCache(sets uint64, pip float64, seed int64) *dramcache.Cache {
 	hbm := dram.New(dram.HBM(), 3.0)
 	pcm := dram.New(dram.PCM(), 3.0)

@@ -22,21 +22,16 @@ const snapshotMagic = "ACRDSNAP"
 // Schema 2: workload generator snapshots gained the event count
 // (generatorVersion 2), making them interchangeable with trace-cache
 // replay cursors.
-const SnapshotSchema = 2
+//
+// Schema 3: the warm fingerprint gained the L4 backend name (the
+// pluggable-organization registry), so keys from schema 2 stores can
+// never alias the new format.
+const SnapshotSchema = 3
 
 // SnapshotSchemaID returns a stable identifier for the snapshot schema,
 // used by CI to key the checkpoint-store cache.
 func SnapshotSchemaID() string {
 	return fmt.Sprintf("accord-ckpt-v%d", SnapshotSchema)
-}
-
-// l4Checkpointer is the snapshot interface both DRAM-cache organizations
-// (dramcache.Cache and dramcache.CACache) implement. Snapshot may fail:
-// a set-associative cache whose policy lacks checkpoint support cannot
-// be serialized.
-type l4Checkpointer interface {
-	Snapshot(e *ckpt.Encoder) error
-	Restore(d *ckpt.Decoder) error
 }
 
 // WarmFingerprint describes everything that determines the system state
@@ -53,10 +48,10 @@ type l4Checkpointer interface {
 //     executed; the warm state it needs is the same one.
 func (s *System) WarmFingerprint(wlName string) string {
 	c := s.cfg
-	return fmt.Sprintf("%s|wl=%s|l4=%s/%d|cores=%d|iw=%d|mshrs=%d|ghz=%g|sram=%d|"+
+	return fmt.Sprintf("%s|wl=%s|l4=%s/%d|backend=%s|cores=%d|iw=%d|mshrs=%d|ghz=%g|sram=%d|"+
 		"scale=%d|l4cap=%d|ways=%d|lookup=%d|lru=%t|ca=%t|hier=%t|"+
 		"nvmcap=%d|anchor=%d|hbm=%+v|pcm=%+v|warm=%d|noadapt=%t|seed=%d",
-		SnapshotSchemaID(), wlName, s.l4.Name(), s.l4.StorageBytes(),
+		SnapshotSchemaID(), wlName, s.l4.Name(), s.l4.StorageBytes(), c.BackendName(),
 		c.Cores, c.IssueWidth, c.MSHRs, c.CPUGHz, c.SRAMLat,
 		c.Scale, c.L4CapacityFull, c.Ways, c.Lookup, c.LRUReplacement, c.UseCA,
 		c.FullHierarchy, c.NVMCapacityFull, c.WorkloadAnchorLines,
@@ -75,16 +70,15 @@ func (s *System) WarmKey(wlName string) string {
 // the embedded fingerprint documents the configuration the state belongs
 // to and is re-verified on Restore.
 func (s *System) Snapshot(wlName string) ([]byte, error) {
-	l4, ok := s.l4.(l4Checkpointer)
-	if !ok {
-		return nil, fmt.Errorf("sim: L4 organization %q does not support checkpointing", s.l4.Name())
-	}
 	e := ckpt.NewEncoder(1 << 20)
 	e.Raw([]byte(snapshotMagic))
 	e.U32(SnapshotSchema)
 	e.String(s.WarmFingerprint(wlName))
 	s.vmsys.Snapshot(e)
-	if err := l4.Snapshot(e); err != nil {
+	// Snapshot is part of the backend contract, but it may still fail —
+	// an nway cache whose policy lacks checkpoint support cannot be
+	// serialized — and the caller falls back to a cold run.
+	if err := s.l4.Snapshot(e); err != nil {
 		return nil, err
 	}
 	s.hbm.Snapshot(e)
@@ -117,16 +111,12 @@ func (s *System) Snapshot(wlName string) ([]byte, error) {
 // on it by construction. The differential tests compare these bytes
 // across the two modes at the warmup boundary.
 func (s *System) FunctionalSnapshot(wlName string) ([]byte, error) {
-	l4, ok := s.l4.(l4Checkpointer)
-	if !ok {
-		return nil, fmt.Errorf("sim: L4 organization %q does not support checkpointing", s.l4.Name())
-	}
 	e := ckpt.NewEncoder(1 << 20)
 	e.Raw([]byte(snapshotMagic))
 	e.U32(SnapshotSchema)
 	e.String(s.WarmFingerprint(wlName))
 	s.vmsys.Snapshot(e)
-	if err := l4.Snapshot(e); err != nil {
+	if err := s.l4.Snapshot(e); err != nil {
 		return nil, err
 	}
 	e.U32(uint32(len(s.cores)))
@@ -151,10 +141,6 @@ func (s *System) FunctionalSnapshot(wlName string) ([]byte, error) {
 // cold run. Adversarial input cannot panic: every length is bounded and
 // every section validates its shape against the constructed system.
 func (s *System) Restore(blob []byte, wlName string) error {
-	l4, ok := s.l4.(l4Checkpointer)
-	if !ok {
-		return fmt.Errorf("sim: L4 organization %q does not support checkpointing", s.l4.Name())
-	}
 	d, err := ckpt.NewDecoderChecked(blob)
 	if err != nil {
 		return err
@@ -174,7 +160,7 @@ func (s *System) Restore(blob []byte, wlName string) error {
 	if err := s.vmsys.Restore(d); err != nil {
 		return err
 	}
-	if err := l4.Restore(d); err != nil {
+	if err := s.l4.Restore(d); err != nil {
 		return err
 	}
 	if err := s.hbm.Restore(d); err != nil {

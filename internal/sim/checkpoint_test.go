@@ -10,9 +10,10 @@ import (
 	"accord/internal/workloads"
 )
 
-// ckptCases covers the four config families the checkpoint layer must
+// ckptCases covers the config families the checkpoint layer must
 // round-trip bit-identically: direct-mapped, ACCORD set-associative,
-// column-associative, and the full SRAM hierarchy.
+// column-associative, the full SRAM hierarchy, and the pluggable
+// organizations (Banshee, Gemini, TDRAM).
 func ckptCases() []Config {
 	shrink := func(cfg Config) Config {
 		cfg.Scale = 8192
@@ -31,6 +32,9 @@ func ckptCases() []Config {
 		shrink(ACCORD(2)),
 		shrink(CACache()),
 		shrink(full),
+		shrink(Banshee()),
+		shrink(Gemini()),
+		shrink(TDRAM(2)),
 	}
 }
 

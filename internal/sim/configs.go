@@ -156,6 +156,38 @@ func LRU2Way() Config {
 	return c
 }
 
+// Banshee returns the page-granularity frequency-tracked organization
+// (Banshee, MICRO 2017; see dramcache.Banshee).
+func Banshee() Config {
+	c := Default()
+	c.Name = "banshee"
+	c.Backend = "banshee"
+	return c
+}
+
+// Gemini returns the hybrid set/way-mapped organization (see
+// dramcache.Gemini). The associativity is fixed at 4 ways.
+func Gemini() Config {
+	c := Default()
+	c.Name = "gemini"
+	c.Backend = "gemini"
+	c.Ways = 4
+	return c
+}
+
+// TDRAM returns the tag-enhanced DRAM organization (single-access hits,
+// early miss detection; see dramcache.TDRAM) at the given associativity.
+func TDRAM(ways int) Config {
+	c := Default()
+	c.Name = "tdram"
+	if ways != 2 {
+		c.Name = fmt.Sprintf("tdram-%dway", ways)
+	}
+	c.Backend = "tdram"
+	c.Ways = ways
+	return c
+}
+
 // Named resolves an organization by name for CLI use. pip applies only to
 // "pws"; ways is ignored by organizations with a fixed associativity.
 func Named(org string, ways int, pip float64) (Config, error) {
@@ -186,6 +218,15 @@ func Named(org string, ways int, pip float64) (Config, error) {
 		return CACache(), nil
 	case "lru":
 		return LRU2Way(), nil
+	case "banshee":
+		return Banshee(), nil
+	case "gemini":
+		return Gemini(), nil
+	case "tdram":
+		if ways < 1 {
+			ways = 2
+		}
+		return TDRAM(ways), nil
 	default:
 		return Config{}, fmt.Errorf("sim: unknown organization %q", org)
 	}

@@ -3,16 +3,9 @@ package sim
 import (
 	"math"
 
-	"accord/internal/dramcache"
 	"accord/internal/metrics"
 	"accord/internal/stats"
 )
-
-// metricSource is the optional interface a component (today: the ACCORD
-// way policy) implements to publish its own metrics.
-type metricSource interface {
-	RegisterMetrics(*metrics.Registry, string)
-}
 
 // Registry exposes the system's metrics registry for inspection; its
 // final snapshot also travels with every Result.
@@ -26,15 +19,11 @@ func (s *System) Registry() *metrics.Registry { return s.reg }
 func (s *System) registerMetrics() {
 	r := s.reg
 
-	// DRAM cache (L4), including latency histograms and derived rates.
-	s.l4.Stats().Register(r, "l4")
-
-	// Way policy, when it has something to report (GWS table behavior).
-	if c, ok := s.l4.(*dramcache.Cache); ok {
-		if src, ok := c.Policy().(metricSource); ok {
-			src.RegisterMetrics(r, "policy")
-		}
-	}
+	// DRAM cache (L4), including latency histograms, derived rates, and —
+	// for backends with an attached policy that reports anything (GWS
+	// table behavior) — the policy's own metrics. Registration is part of
+	// the backend contract, so no type switching happens here.
+	s.l4.RegisterMetrics(r, "l4")
 
 	// Memory devices on both sides of the cache.
 	s.hbm.RegisterMetrics(r, "hbm")

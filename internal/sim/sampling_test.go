@@ -37,6 +37,9 @@ func functionalCases(seed int64, warm int64) []Config {
 		shrink(CACache()),
 		shrink(full),
 		shrink(lru),
+		shrink(Banshee()),
+		shrink(Gemini()),
+		shrink(TDRAM(2)),
 	}
 }
 

@@ -46,7 +46,14 @@ type Config struct {
 	LRUReplacement bool
 	// UseCA replaces the set-associative organization with the
 	// column-associative baseline (Ways/Lookup/Policy are then ignored).
+	// It predates Backend and is equivalent to Backend = "ca".
 	UseCA bool
+	// Backend selects the L4 organization by registry name ("nway", "ca",
+	// "banshee", "gemini", "tdram", or any externally registered backend).
+	// Empty means the legacy selection: "ca" when UseCA is set, "nway"
+	// otherwise. Ways/Lookup/LRUReplacement/Policy apply only to backends
+	// that use them.
+	Backend string
 
 	// FullHierarchy models the on-chip SRAM levels explicitly: workload
 	// events traverse per-core L1/L2 and a shared L3 (with DCP+way bits)
@@ -125,6 +132,18 @@ func Default() Config {
 	}
 }
 
+// BackendName resolves the effective L4 backend: the explicit Backend
+// field, or the legacy UseCA switch, defaulting to "nway".
+func (c Config) BackendName() string {
+	if c.Backend != "" {
+		return c.Backend
+	}
+	if c.UseCA {
+		return "ca"
+	}
+	return "nway"
+}
+
 // Validate reports a descriptive error for an unusable configuration.
 func (c Config) Validate() error {
 	switch {
@@ -136,7 +155,11 @@ func (c Config) Validate() error {
 		return errors.New("sim: capacities must be positive")
 	case c.CPUGHz <= 0:
 		return fmt.Errorf("sim: CPU clock %v must be positive", c.CPUGHz)
-	case !c.UseCA && c.Ways < 1:
+	case c.Backend != "" && !dramcache.HasBackend(c.Backend):
+		return fmt.Errorf("sim: unknown L4 backend %q (have %v)", c.Backend, dramcache.BackendNames())
+	case c.Backend != "" && c.Backend != "ca" && c.UseCA:
+		return fmt.Errorf("sim: Backend %q conflicts with UseCA", c.Backend)
+	case c.Ways < 1 && (c.BackendName() == "nway" || c.BackendName() == "tdram"):
 		return fmt.Errorf("sim: ways %d must be >= 1", c.Ways)
 	case c.WarmupInstr < 0 || c.MeasureInstr <= 0:
 		return errors.New("sim: instruction budgets invalid")
@@ -358,28 +381,34 @@ func New(cfg Config, wl workloads.Workload) *System {
 	hbm := dram.New(cfg.HBM, cfg.CPUGHz)
 	pcm := dram.New(cfg.PCM, cfg.CPUGHz)
 
-	var l4 dramcache.Interface
-	if cfg.UseCA {
-		l4 = dramcache.NewCA(cfg.L4Capacity(), hbm, pcm)
-	} else {
-		geom := core.Geometry{
-			Sets: uint64(cfg.L4Capacity() / (int64(cfg.Ways) * memtypes.LineSize)),
-			Ways: cfg.Ways,
-		}
+	frames := uint64(cfg.NVMCapacityFull / cfg.Scale / memtypes.PageSize)
+
+	// The L4 organization comes from the backend registry; Validate has
+	// already vetted the name, so remaining failures are geometry errors —
+	// programming errors at this layer, like the Validate panic above.
+	spec, ok := dramcache.GetBackend(cfg.BackendName())
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown L4 backend %q", cfg.BackendName()))
+	}
+	bcfg := dramcache.BackendConfig{
+		CapacityBytes:  cfg.L4Capacity(),
+		Ways:           cfg.Ways,
+		Lookup:         cfg.Lookup,
+		LRUReplacement: cfg.LRUReplacement,
+		Seed:           cfg.Seed,
+	}
+	if spec.UsesPolicy {
 		factory := cfg.Policy
 		if factory == nil {
 			factory = func(g core.Geometry, seed int64) core.Policy { return core.NewRand(g, seed) }
 		}
-		pol := factory(geom, cfg.Seed)
-		l4 = dramcache.New(dramcache.Config{
-			CapacityBytes:  cfg.L4Capacity(),
-			Ways:           cfg.Ways,
-			Lookup:         cfg.Lookup,
-			LRUReplacement: cfg.LRUReplacement,
-		}, pol, hbm, pcm)
+		bcfg.Policy = factory(bcfg.Geometry(), cfg.Seed)
+	}
+	l4, err := spec.New(bcfg, dramcache.Deps{Dev: hbm, NVM: pcm, Frames: frames})
+	if err != nil {
+		panic(fmt.Sprintf("sim: building L4 backend %q: %v", cfg.BackendName(), err))
 	}
 
-	frames := uint64(cfg.NVMCapacityFull / cfg.Scale / memtypes.PageSize)
 	vmsys := vm.NewSystem(frames, vm.AllocRandom, cfg.Seed)
 
 	s := &System{cfg: cfg, specs: wl.Specs, l4: l4, hbm: hbm, pcm: pcm, vmsys: vmsys}
