@@ -7,9 +7,9 @@ GO ?= go
 # Benchmark-trajectory settings: the paper-artifact suite, run -count
 # times and reduced to medians by cmd/benchjson. BENCH_JSON is the
 # committed trajectory file CI compares fresh runs against.
-BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl|BenchmarkCkpt|BenchmarkTraceSession|BenchmarkFunctionalStep|BenchmarkSampledRun
+BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl|BenchmarkCkpt|BenchmarkTraceSession|BenchmarkFunctionalStep|BenchmarkSampledRun|BenchmarkSampledParallel
 BENCH_COUNT   ?= 3
-BENCH_JSON    ?= BENCH_PR6.json
+BENCH_JSON    ?= BENCH_PR8.json
 # Packages holding trajectory benchmarks: the paper-artifact suite at the
 # repo root plus the sampling benchmarks next to the sampling driver.
 BENCH_PKGS    ?= . ./internal/sim

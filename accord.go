@@ -52,6 +52,19 @@ type (
 	SampleSummary = sim.SampleSummary
 	// MetricCI is one sampled estimate: mean ± Student-t half-width.
 	MetricCI = sim.MetricCI
+	// IntervalObs is one committed interval of a sampled run
+	// (SampleSummary.Series).
+	IntervalObs = sim.IntervalObs
+	// System is a constructed simulation (NewSystem) for callers that
+	// need more than Run: snapshots, sampled-run diagnostics.
+	System = sim.System
+	// SampleWork reports how a sampled run's work was executed —
+	// worker count, speculation accounting, spine/worker time split
+	// (System.SampleWork; diagnostic only, never part of Result).
+	SampleWork = sim.SampleWork
+	// TraceCache records each workload stream once and replays it
+	// byte-identically across runs that share it.
+	TraceCache = workloads.TraceCache
 
 	// Policy couples way-install and way-prediction (the ACCORD framework).
 	Policy = core.Policy
@@ -161,6 +174,10 @@ var (
 	CoreSuite     = workloads.CoreSuite
 	AllSuite      = workloads.AllSuite
 	GetWorkload   = workloads.Get
+	// NewTraceCache builds a shared stream recording (byteBudget 0 =
+	// default); NewSystem constructs a System from a Config and Workload.
+	NewTraceCache = workloads.NewTraceCache
+	NewSystem     = sim.New
 
 	// Experiments lists every paper artifact; FindExperiment resolves one
 	// by ID (e.g. "fig10"); NewExperimentSession memoizes runs across

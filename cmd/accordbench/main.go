@@ -30,16 +30,17 @@ import (
 // manifest (Progress is an io.Writer and does not serialize).
 func manifestConfig(p exp.Params, experiment string) map[string]interface{} {
 	return map[string]interface{}{
-		"experiment":    experiment,
-		"scale":         p.Scale,
-		"cores":         p.Cores,
-		"warmup_instr":  p.WarmupInstr,
-		"measure_instr": p.MeasureInstr,
-		"epoch_instr":   p.EpochInstr,
-		"parallelism":   p.Parallelism,
-		"trace_cache":   p.TraceCache,
-		"sample_period": p.Sampling.Period,
-		"sample_ci":     p.Sampling.TargetCI,
+		"experiment":     experiment,
+		"scale":          p.Scale,
+		"cores":          p.Cores,
+		"warmup_instr":   p.WarmupInstr,
+		"measure_instr":  p.MeasureInstr,
+		"epoch_instr":    p.EpochInstr,
+		"parallelism":    p.Parallelism,
+		"trace_cache":    p.TraceCache,
+		"sample_period":  p.Sampling.Period,
+		"sample_ci":      p.Sampling.TargetCI,
+		"sample_workers": p.SampleWorkers,
 	}
 }
 
@@ -57,6 +58,7 @@ func main() {
 		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshots only)")
 		sample     = flag.Int64("sample", 0, "interval-sampling period in instructions per core (0 = exact detailed runs); sampled tables are estimates whose CIs go to -metrics-out")
 		ci         = flag.Float64("ci", 0.05, "with -sample: stop each run early once its IPC estimate's relative CI half-width reaches this (0 = run every planned interval)")
+		sampleWkrs = flag.Int("sample-workers", 0, "with -sample: worker goroutines per simulation running detailed windows off the functional spine (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: skip warmup for design points with a stored checkpoint, populate it for the rest")
 		traceCache = flag.Bool("trace-cache", true, "share one recording of each workload stream across every design point instead of re-generating it per run")
 		traceMB    = flag.Int64("trace-cache-mb", 0, "trace cache byte budget in MiB (0 = default)")
@@ -125,6 +127,7 @@ func main() {
 			os.Exit(2)
 		}
 		p.Sampling = sc
+		p.SampleWorkers = *sampleWkrs
 	}
 
 	var todo []exp.Experiment

@@ -42,6 +42,7 @@ func main() {
 		epoch      = flag.Int64("epoch", -1, "metrics sampling epoch in retired instructions summed over cores (-1 = auto when -metrics-out is set, 0 = final snapshot only)")
 		sample     = flag.Int64("sample", 0, "interval-sampling period in instructions per core (0 = exact detailed run); each period is mostly functional fast-forward with a short detailed measured window, and results carry Student-t confidence intervals")
 		ci         = flag.Float64("ci", 0.05, "with -sample: stop early once the IPC estimate's relative CI half-width reaches this (0 = run every planned interval)")
+		sampleWkrs = flag.Int("sample-workers", 0, "with -sample: worker goroutines running detailed windows off the functional spine (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
 		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: restore the warmup/measure boundary when a matching checkpoint exists, populate it otherwise (ignored with -trace)")
 		traceCache = flag.Bool("trace-cache", true, "record each workload stream once and replay it, sharing the recording with the -baseline run (ignored with -trace)")
 		ckptSchema = flag.Bool("ckpt-schema", false, "print the checkpoint schema ID (for cache keys) and exit")
@@ -82,6 +83,7 @@ func main() {
 		sc := sim.DefaultSampling(*sample)
 		sc.TargetCI = *ci
 		cfg.Sampling = sc
+		cfg.SampleWorkers = *sampleWkrs
 		cfg.DisableAdaptiveBudgets = true
 	} else {
 		cfg.EpochInstr = epochInstr(*epoch, *metricsOut != "", cfg)

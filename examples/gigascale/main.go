@@ -3,19 +3,29 @@
 // scaled-down models the experiments use for speed — and that interval
 // sampling makes such a design point affordable: a 2-billion-instruction
 // stream over the 64-million-line tag array, warmed functionally and
-// measured in SMARTS-style detailed windows, finishes in minutes on one
-// thread where a fully detailed run of the same stream would take the
-// better part of an hour.
+// measured in SMARTS-style detailed windows.
 //
-// Expect roughly a gigabyte of resident memory. The windows are fixed
-// (adaptive sizing is disabled) so the instruction budget is exactly
-// what is configured.
+// It runs the same sampled simulation twice — once sequentially
+// (SampleWorkers=1) and once with a worker pool that executes the
+// detailed windows concurrently off the functional spine — and reports
+// the wall-clock for each plus the parallel run's spine/worker time
+// split. The two runs produce byte-identical results by construction;
+// the example checks that too.
+//
+// Expect roughly a gigabyte of resident memory (per live fork). The
+// windows are fixed (adaptive sizing is disabled) so the instruction
+// budget is exactly what is configured. Pass -quick for a scaled-down
+// smoke run, -workers to size the pool.
 //
 //	go run ./examples/gigascale
+//	go run ./examples/gigascale -workers 8
+//	go run ./examples/gigascale -quick
 package main
 
 import (
+	"flag"
 	"fmt"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -23,6 +33,10 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 8, "detailed-window worker goroutines for the parallel run")
+	quick := flag.Bool("quick", false, "scaled-down smoke run (seconds instead of minutes)")
+	flag.Parse()
+
 	cfg := accord.ACCORD(2)
 	cfg.Scale = 1 // the real thing: 4 GB cache, 128 GB PCM
 	cfg.Cores = 8
@@ -43,28 +57,82 @@ func main() {
 		MinIntervals: 8,
 		TargetCI:     0.05,
 	}
+	if *quick {
+		cfg.Scale = 4096
+		cfg.WarmupInstr = 100_000
+		cfg.MeasureInstr = 1_200_000
+		cfg.Sampling = accord.SamplingConfig{
+			Period:       200_000,
+			DetailLen:    40_000,
+			WarmLen:      20_000,
+			MinIntervals: 2,
+			TargetCI:     0.05,
+		}
+	}
+
+	// Share one recording of the workload stream so both runs replay the
+	// identical event sequence (the first run records it as it goes) and
+	// the parallel run's forks can replay their intervals from it.
+	wl, err := accord.GetWorkload("mcf", cfg.Cores)
+	if err != nil {
+		panic(err)
+	}
+	traces := accord.NewTraceCache(0)
+	wl.Source = traces.Source(wl.Specs, cfg.AnchorLines(), cfg.Seed)
 
 	totalInstr := (cfg.WarmupInstr + cfg.MeasureInstr) * int64(cfg.Cores)
 	fmt.Printf("configuration: %s\n", cfg.Name)
 	fmt.Printf("  DRAM cache: %d GB (%d million lines), %d-way\n",
 		cfg.L4Capacity()>>30, cfg.L4Lines()>>20, cfg.Ways)
 	fmt.Printf("  main memory: %d GB PCM\n", cfg.NVMCapacityFull>>30)
-	fmt.Printf("  cores: %d, %d total instructions (%dM warmup + %dM measured per core)\n",
-		cfg.Cores, totalInstr, cfg.WarmupInstr/1e6, cfg.MeasureInstr/1e6)
-	fmt.Printf("  sampling: %dM period, %.1fM detailed + %.1fM re-warm per interval\n\n",
-		cfg.Sampling.Period/1e6, float64(cfg.Sampling.DetailLen)/1e6, float64(cfg.Sampling.WarmLen)/1e6)
+	fmt.Printf("  cores: %d, %d total instructions (%.1fM warmup + %.1fM measured per core)\n",
+		cfg.Cores, totalInstr, float64(cfg.WarmupInstr)/1e6, float64(cfg.MeasureInstr)/1e6)
+	fmt.Printf("  sampling: %.1fM period, %.2fM detailed + %.2fM re-warm per interval\n\n",
+		float64(cfg.Sampling.Period)/1e6, float64(cfg.Sampling.DetailLen)/1e6,
+		float64(cfg.Sampling.WarmLen)/1e6)
 
-	start := time.Now()
-	res := accord.Run(cfg, "mcf")
-	elapsed := time.Since(start)
+	run := func(workers int) (accord.Result, accord.SampleWork, time.Duration) {
+		c := cfg
+		c.SampleWorkers = workers
+		s := accord.NewSystem(c, wl)
+		start := time.Now()
+		res := s.Run("mcf")
+		return res, s.SampleWork(), time.Since(start)
+	}
+
+	fmt.Printf("sequential run (1 worker)...\n")
+	seqRes, _, seqT := run(1)
+	fmt.Printf("  %.1fs wall (%.1f M instr/s)\n",
+		seqT.Seconds(), float64(seqRes.InstructionsTotal)/seqT.Seconds()/1e6)
+
+	fmt.Printf("parallel run (%d workers)...\n", *workers)
+	parRes, parWork, parT := run(*workers)
+	fmt.Printf("  %.1fs wall (%.1f M instr/s) — %.2fx over sequential\n",
+		parT.Seconds(), float64(parRes.InstructionsTotal)/parT.Seconds()/1e6,
+		seqT.Seconds()/parT.Seconds())
+
+	// The functional spine is the serial fraction; the detailed windows
+	// are the parallel work. With W workers the windows overlap each
+	// other and the spine, so wall-clock approaches
+	// max(spine, detail/W) — the utilization split shows how close.
+	fmt.Printf("  spine (serial):   %.1fs (%.0f%% of wall)\n",
+		parWork.SpineTime.Seconds(), 100*parWork.SpineTime.Seconds()/parT.Seconds())
+	fmt.Printf("  detailed windows: %.1fs across %d workers (%.0f%% busy)\n",
+		parWork.DetailTime.Seconds(), parWork.Workers,
+		100*parWork.DetailTime.Seconds()/(parT.Seconds()*float64(parWork.Workers)))
+	fmt.Printf("  intervals: %d dispatched, %d committed, %d speculative discarded\n",
+		parWork.Dispatched, parWork.Committed, parWork.Discarded)
+	if !reflect.DeepEqual(seqRes, parRes) {
+		fmt.Println("  ERROR: parallel result diverged from sequential")
+	} else {
+		fmt.Println("  results identical to sequential: yes")
+	}
 
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)
 
-	s := res.Sampled
-	fmt.Printf("covered %d instructions in %.1fs (%.1f M instr/s wall)\n",
-		res.InstructionsTotal, elapsed.Seconds(),
-		float64(res.InstructionsTotal)/elapsed.Seconds()/1e6)
+	s := parRes.Sampled
+	fmt.Printf("\ncovered %d instructions per run\n", parRes.InstructionsTotal)
 	fmt.Printf("measured %d detailed intervals of %d planned", s.Intervals, s.Planned)
 	if s.Converged {
 		fmt.Printf(" (stopped early at the %.0f%% CI target)", 100*cfg.Sampling.TargetCI)
@@ -73,11 +141,11 @@ func main() {
 	fmt.Printf("  IPC       %.4f ± %.4f (95%% CI)\n", s.IPC.Mean, s.IPC.Half)
 	fmt.Printf("  hit rate  %.4f ± %.4f\n", s.HitRate.Mean, s.HitRate.Half)
 	fmt.Printf("  MPKI      %.3f ± %.3f\n", s.MPKI.Mean, s.MPKI.Half)
-	fmt.Printf("way-prediction accuracy: %.1f%%\n", 100*res.Accuracy())
-	fmt.Printf("simulator resident memory: %d MB (64M-line tag store)\n",
-		mem.HeapInuse>>20)
+	fmt.Printf("way-prediction accuracy: %.1f%%\n", 100*parRes.Accuracy())
+	fmt.Printf("simulator resident memory: %d MB\n", mem.HeapInuse>>20)
 	fmt.Println("\nThe evaluation harness (cmd/accordbench) uses 1/256-scale")
 	fmt.Println("capacities with footprints scaled by the same factor, which")
-	fmt.Println("preserves hit-rate and bandwidth behaviour; pass -sample to")
-	fmt.Println("run its design points with this interval-sampling machinery.")
+	fmt.Println("preserves hit-rate and bandwidth behaviour; pass -sample")
+	fmt.Println("(and -sample-workers) to run its design points with this")
+	fmt.Println("interval-sampling machinery.")
 }

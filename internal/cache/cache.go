@@ -115,6 +115,18 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes statistics, keeping contents (for warmup).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// SetStats replaces the statistics wholesale; interval sampling uses it
+// to impose committed per-interval aggregates on the final cache.
+func (c *Cache) SetStats(s Stats) { c.stats = s }
+
+// Add accumulates o into s field by field.
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Writebacks += o.Writebacks
+	s.Fills += o.Fills
+}
+
 // RegisterMetrics publishes the cache's statistics into r under prefix
 // (e.g. "l3") as views over the live counters.
 func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {

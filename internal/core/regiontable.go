@@ -20,6 +20,14 @@ type regionTable struct {
 	head  int // MRU slot, -1 when empty
 	tail  int // LRU slot, -1 when empty
 	used  int
+
+	// memo is the slot of the most recent lookup/insert hit, -1 = none.
+	// Consecutive events cluster in the same 4 KB region, so this skips
+	// the probe walk for most hits. It is self-validating (the slot's
+	// region is re-checked, so eviction/reuse simply misses) and derived
+	// (snapshots serialize logical content only; restore rebuilds with a
+	// cold memo).
+	memo int32
 }
 
 type rtSlot struct {
@@ -46,6 +54,7 @@ func newRegionTable(capacity int) *regionTable {
 		mask:  uint64(pn - 1),
 		head:  -1,
 		tail:  -1,
+		memo:  -1,
 	}
 }
 
@@ -133,10 +142,15 @@ func (t *regionTable) indexDelete(region memtypes.RegionID) {
 
 // lookup returns the way recorded for region, refreshing its recency.
 func (t *regionTable) lookup(region memtypes.RegionID) (way int, ok bool) {
+	if m := t.memo; m >= 0 && t.slots[m].region == region {
+		t.moveToFront(int(m))
+		return int(t.slots[m].way), true
+	}
 	slot := t.findSlot(region)
 	if slot < 0 {
 		return 0, false
 	}
+	t.memo = int32(slot)
 	t.moveToFront(slot)
 	return int(t.slots[slot].way), true
 }
@@ -144,7 +158,13 @@ func (t *regionTable) lookup(region memtypes.RegionID) (way int, ok bool) {
 // insert records region -> way, evicting the LRU entry when full. An
 // existing entry is updated and refreshed.
 func (t *regionTable) insert(region memtypes.RegionID, way int) {
+	if m := t.memo; m >= 0 && t.slots[m].region == region {
+		t.slots[m].way = uint8(way)
+		t.moveToFront(int(m))
+		return
+	}
 	if slot := t.findSlot(region); slot >= 0 {
+		t.memo = int32(slot)
 		t.slots[slot].way = uint8(way)
 		t.moveToFront(slot)
 		return
@@ -161,6 +181,7 @@ func (t *regionTable) insert(region memtypes.RegionID, way int) {
 	t.slots[slot] = rtSlot{region: region, way: uint8(way), prev: -1, next: -1}
 	t.pushFront(slot)
 	t.indexInsert(region, slot)
+	t.memo = int32(slot)
 }
 
 // len returns the number of live entries.

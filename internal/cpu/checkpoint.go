@@ -62,6 +62,36 @@ func (c *Core) FunctionalSnapshot(e *ckpt.Encoder) error {
 	return nil
 }
 
+// RestoreFunctional replaces the core's functional state with a
+// FunctionalSnapshot blob and resets everything the blob deliberately
+// excludes — clock, MSHRs, MSHR-stall count, window marks — to the
+// canonical fresh-core values via ResetSampleTiming. This is the fork
+// half of parallel interval sampling: a worker restoring a spine fork
+// gets exactly the state a brand-new core would have after functionally
+// retiring the same events. On error the core must be discarded.
+func (c *Core) RestoreFunctional(d *ckpt.Decoder) error {
+	cp, ok := c.stream.(workloads.Checkpointer)
+	if !ok {
+		return fmt.Errorf("cpu: core %d stream %T does not support checkpointing", c.id, c.stream)
+	}
+	if v := d.U8(); d.Err() == nil && v != coreVersion {
+		d.Failf("cpu: snapshot version %d, want %d", v, coreVersion)
+	}
+	c.instr = d.I64()
+	c.instCarry = d.I64()
+	c.reads = d.U64()
+	c.writes = d.U64()
+	c.depStalls = d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := cp.Restore(d); err != nil {
+		return err
+	}
+	c.ResetSampleTiming()
+	return nil
+}
+
 // Restore replaces the core's state with a snapshot. On error the core
 // is left in an unspecified state and must be discarded.
 func (c *Core) Restore(d *ckpt.Decoder) error {

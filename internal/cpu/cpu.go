@@ -89,10 +89,33 @@ type Core struct {
 	memoVPage memtypes.PageNum
 	memoPBase memtypes.LineAddr // physical line 0 of memoVPage's frame
 
+	// Direct-mapped second-level translation memo behind the same-page
+	// memo: random-arena traffic changes pages nearly every event, so the
+	// single-entry memo thrashes and every such event paid a full
+	// page-table walk. Tags are vp+1 so the zero value means empty and
+	// invalidation is a plain clear. Like the same-page memo this is pure
+	// derived state — mappings are immutable once allocated — but a memo
+	// entry implies "this page is already mapped", which restoring an
+	// earlier snapshot can falsify (the walk's first-touch allocation
+	// draws from the VM RNG), so both memos go cold together in
+	// ResetSampleTiming.
+	tlbTag   [tlbSize]uint64
+	tlbPBase [tlbSize]memtypes.LineAddr
+
 	stream    workloads.Stream
 	translate Translate
 	mem       MemorySystem
 	fmem      FunctionalMemory // mem's functional view; nil when unsupported
+
+	// Batch fast-forward plumbing (see batch.go). wstream/bmem are the
+	// stream's and memory system's optional batch views, cached here at
+	// construction like fmem; blines is the translated-line scratch batch
+	// calls reuse across windows. All nil/empty when either side does not
+	// support batching, in which case StepFunctionalBatch degrades to
+	// per-event StepFunctional.
+	wstream WindowStream
+	bmem    BatchFunctionalMemory
+	blines  []memtypes.LineAddr
 
 	reads, writes, depStalls, mshrStalls uint64
 
@@ -117,7 +140,11 @@ func New(id int, params Params, stream workloads.Stream, translate Translate, me
 		}
 	}
 	fmem, _ := mem.(FunctionalMemory)
+	wstream, _ := stream.(WindowStream)
+	bmem, _ := mem.(BatchFunctionalMemory)
 	return &Core{
+		wstream:    wstream,
+		bmem:       bmem,
 		id:         id,
 		params:     params,
 		memoVPage:  ^memtypes.PageNum(0),
@@ -142,15 +169,32 @@ func (c *Core) Time() int64 { return c.time }
 // Instructions returns the total instructions retired.
 func (c *Core) Instructions() int64 { return c.instr }
 
-// translateLine resolves a virtual line through the same-page memo,
-// falling back to the full translation on a page change.
+// tlbBits sizes the direct-mapped translation memo: 4096 entries cover
+// the scaled workloads' full page footprints and a useful slice of the
+// unscaled ones, at 64 KB of host memory per core.
+const (
+	tlbBits = 12
+	tlbSize = 1 << tlbBits
+)
+
+// translateLine resolves a virtual line through the same-page memo, then
+// the direct-mapped memo, falling back to the full translation walk.
 func (c *Core) translateLine(vl memtypes.LineAddr) memtypes.LineAddr {
-	if vp := vl.Page(); vp == c.memoVPage {
+	vp := vl.Page()
+	if vp == c.memoVPage {
 		return c.memoPBase + memtypes.LineAddr(vl.PageOffset())
 	}
+	i := (uint64(vp) * 0x9e3779b97f4a7c15) >> (64 - tlbBits)
+	if c.tlbTag[i] == uint64(vp)+1 {
+		base := c.tlbPBase[i]
+		c.memoVPage, c.memoPBase = vp, base
+		return base + memtypes.LineAddr(vl.PageOffset())
+	}
 	pl := c.translate(vl)
-	c.memoVPage = vl.Page()
-	c.memoPBase = pl - memtypes.LineAddr(vl.PageOffset())
+	base := pl - memtypes.LineAddr(vl.PageOffset())
+	c.memoVPage, c.memoPBase = vp, base
+	c.tlbTag[i] = uint64(vp) + 1
+	c.tlbPBase[i] = base
 	return pl
 }
 

@@ -447,6 +447,48 @@ func (d *Device) Stats() Stats { return d.stats }
 // after warmup.
 func (d *Device) ResetStats() { d.stats = Stats{} }
 
+// SetStats replaces the cumulative statistics wholesale. Interval
+// sampling uses it to impose the committed per-interval aggregates on
+// the final device after the measured windows ran elsewhere (in-place
+// or on fork systems).
+func (d *Device) SetStats(s Stats) { d.stats = s }
+
+// Add accumulates o into s field by field; Stats is a plain sum type,
+// so interval deltas compose by addition.
+func (s *Stats) Add(o Stats) {
+	s.Activates += o.Activates
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.BytesRead += o.BytesRead
+	s.BytesWritten += o.BytesWritten
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.BusBusy += o.BusBusy
+	s.ReadLatency += o.ReadLatency
+	s.BankWait += o.BankWait
+	s.BusWait += o.BusWait
+}
+
+// ResetTiming returns every bank and channel to its power-on timing
+// state — rows closed, banks immediately ready, data buses idle, write
+// backlogs drained — without touching the statistics. A device after
+// ResetTiming is behaviorally indistinguishable from a freshly
+// constructed one (the retained busyBuf backing array only changes when
+// an allocation happens, never a scheduling decision). Interval
+// sampling calls it at each detailed-window boundary so in-place and
+// fork-restored measured windows start from the same canonical device
+// state.
+func (d *Device) ResetTiming() {
+	for i := range d.channels {
+		ch := &d.channels[i]
+		ch.busy = nil
+		ch.writeBacklog = 0
+		for j := range ch.banks {
+			ch.banks[j] = bank{}
+		}
+	}
+}
+
 // RegisterMetrics publishes the device's statistics into r under prefix
 // (e.g. "hbm", "pcm") as views over the live counters; the access path
 // itself stays allocation- and indirection-free.

@@ -145,6 +145,39 @@ func driveFunctional(c dramcache.Interface, ops *opStream, n int) {
 	}
 }
 
+// driveBatch applies n ops through FunctionalBatch, in windows of
+// varying length (1..257, including singletons and sizes that straddle
+// the drive's tail). Flags carry a stray non-write bit on some reads:
+// the contract says backends test FunctionalWrite and ignore the rest
+// (trace-cache flag bytes arrive unmasked, with the core-side Dep bit
+// still set).
+func driveBatch(c dramcache.Interface, ops *opStream, n int) {
+	lines := make([]memtypes.LineAddr, 0, 257)
+	flags := make([]uint8, 0, 257)
+	w := 1
+	for done := 0; done < n; {
+		lines, flags = lines[:0], flags[:0]
+		sz := min(w, n-done)
+		for i := 0; i < sz; i++ {
+			_, line, wb := ops.next()
+			lines = append(lines, line)
+			var f uint8
+			if wb {
+				f = dramcache.FunctionalWrite
+			} else if i%3 == 0 {
+				f = 1 << 1 // stray Dep bit; must be ignored
+			}
+			flags = append(flags, f)
+		}
+		c.FunctionalBatch(lines, flags)
+		done += sz
+		w = w*2 + 1
+		if w > 257 {
+			w = 1
+		}
+	}
+}
+
 // snapshot serializes an instance with the codec's CRC trailer.
 func snapshot(t *testing.T, c dramcache.Interface) []byte {
 	t.Helper()
@@ -173,6 +206,7 @@ func restore(t *testing.T, c dramcache.Interface, blob []byte) {
 // RunAll runs the full conformance suite against one backend.
 func RunAll(t *testing.T, h Harness) {
 	t.Run("functional-equivalence", func(t *testing.T) { checkFunctionalEquivalence(t, h) })
+	t.Run("batch-equivalence", func(t *testing.T) { checkBatchEquivalence(t, h) })
 	t.Run("checkpoint-roundtrip", func(t *testing.T) { checkCheckpointRoundTrip(t, h) })
 	t.Run("stats-invariants", func(t *testing.T) { checkStatsInvariants(t, h) })
 	t.Run("codec-adversarial", func(t *testing.T) { checkCodecAdversarial(t, h) })
@@ -214,6 +248,30 @@ func checkFunctionalEquivalence(t *testing.T, h Harness) {
 	db, fb := snapshot(t, det), snapshot(t, fun)
 	if string(db) != string(fb) {
 		t.Fatalf("functional warm state diverged from detailed: %d vs %d byte snapshots differ", len(fb), len(db))
+	}
+}
+
+// checkBatchEquivalence proves FunctionalBatch is exactly the per-event
+// functional ops in order: after the same op sequence, the batched and
+// the single-stepped instance must have byte-identical snapshots and
+// equal stats, regardless of how the sequence was cut into windows.
+func checkBatchEquivalence(t *testing.T, h Harness) {
+	single, batch := h.New(), h.New()
+	singleOps, batchOps := newOpStream(53), newOpStream(53)
+	const n = 30_000
+	// Mirror driveBatch's flag quirk: the per-event reference must issue
+	// the same reads/writebacks, and the stray Dep bit changes nothing on
+	// the per-event path by construction.
+	driveFunctional(single, singleOps, n)
+	driveBatch(batch, batchOps, n)
+	if err := batch.CheckInvariants(); err != nil {
+		t.Fatalf("batched instance violates invariants: %v", err)
+	}
+	if *single.Stats() != *batch.Stats() {
+		t.Fatalf("batched stats diverged from single-step:\n single %+v\n batch  %+v", *single.Stats(), *batch.Stats())
+	}
+	if string(snapshot(t, single)) != string(snapshot(t, batch)) {
+		t.Fatal("batched state diverged from single-step (snapshot bytes differ)")
 	}
 }
 

@@ -132,6 +132,37 @@ type Stats struct {
 	HitLatency, MissLatency LatencySum
 }
 
+// Add accumulates o into s field by field; Stats is a plain sum type,
+// so per-interval deltas from sampled measured windows compose by
+// addition (used by sim's sampled-run stat committer).
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.ReadHits += o.ReadHits
+	s.Writebacks += o.Writebacks
+	s.WritebackHits += o.WritebackHits
+	s.Predictions += o.Predictions
+	s.Correct += o.Correct
+	s.ProbeReads += o.ProbeReads
+	s.InstallWrites += o.InstallWrites
+	s.WritebackWrites += o.WritebackWrites
+	s.VictimReads += o.VictimReads
+	s.ReplStateOps += o.ReplStateOps
+	s.NVMReads += o.NVMReads
+	s.NVMWrites += o.NVMWrites
+	s.FilteredMisses += o.FilteredMisses
+	s.HitLatency.Add(o.HitLatency)
+	s.MissLatency.Add(o.MissLatency)
+}
+
+// Add accumulates another latency population into l.
+func (l *LatencySum) Add(o LatencySum) {
+	l.Count += o.Count
+	l.Sum += o.Sum
+	for i := range l.Buckets {
+		l.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // LatencySum accumulates a latency population with coarse power-of-two
 // buckets for percentile estimation.
 type LatencySum struct {
@@ -278,6 +309,16 @@ type Interface interface {
 	// same detailed sequence (stats reset at the comparison point).
 	AccessReadFunctional(line memtypes.LineAddr) (way uint8, hit bool)
 	WritebackFunctional(line memtypes.LineAddr)
+	// FunctionalBatch applies a run of functional operations in one call:
+	// lines[i] is a WritebackFunctional when flags[i]&FunctionalWrite is
+	// set, an AccessReadFunctional otherwise (other flag bits are
+	// ignored, so trace-cache flag bytes pass through unmasked). The
+	// state left behind must be byte-identical to the per-event calls in
+	// the same order; the point of the method is that each backend runs a
+	// concrete-receiver loop with no per-event interface dispatch, which
+	// is what the sampling spine's throughput rides on (see batch.go and
+	// DESIGN.md §12). len(flags) must be >= len(lines).
+	FunctionalBatch(lines []memtypes.LineAddr, flags []uint8)
 	Contains(line memtypes.LineAddr) (way int, ok bool)
 	Stats() *Stats
 	ResetStats()
@@ -431,12 +472,15 @@ func (c *Cache) lineOf(set, tag uint64) memtypes.LineAddr {
 	return memtypes.LineAddr(tag<<c.setShift | set)
 }
 
-// findWay returns the way holding (set, tag), or -1.
+// findWay returns the way holding (set, tag), or -1. The tag compare
+// runs first — it almost always decides — so the valid check (needed
+// because a zero-value or invalidated entry's stale tag could alias a
+// real one) is off the common path.
 func (c *Cache) findWay(set, tag uint64) int {
 	base := int(set) * c.ways
 	ways := c.meta[base : base+c.ways]
 	for w := range ways {
-		if ways[w].valid && ways[w].tag == tag {
+		if ways[w].tag == tag && ways[w].valid {
 			return w
 		}
 	}

@@ -84,6 +84,14 @@ type Params struct {
 	// DisableAdaptiveBudgets and supersedes EpochInstr (sampled runs get
 	// a per-interval series instead of an epoch series).
 	Sampling sim.SamplingConfig
+
+	// SampleWorkers sets sim.Config.SampleWorkers for sampled runs: how
+	// many goroutines execute detailed interval windows in parallel
+	// (0 = GOMAXPROCS, 1 = sequential). It is pure execution strategy —
+	// results are identical at any setting by construction — so it is
+	// deliberately excluded from the memo key: a session warmed at one
+	// worker count serves another without recomputation.
+	SampleWorkers int
 }
 
 // parallelism returns the effective worker count.
@@ -261,6 +269,7 @@ func (s *Session) apply(cfg sim.Config) sim.Config {
 		// series; adaptive budgets and epoch sampling would fight it (see
 		// SamplingConfig.validate for why these are rejected).
 		cfg.Sampling = s.p.Sampling
+		cfg.SampleWorkers = s.p.SampleWorkers
 		cfg.DisableAdaptiveBudgets = true
 		cfg.EpochInstr = 0
 	}

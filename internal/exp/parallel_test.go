@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -126,6 +127,28 @@ func TestMemoKeyDistinguishesConfigs(t *testing.T) {
 	s.Run(serial, "nekbone")
 	if s.memoSize() != 4 {
 		t.Errorf("memo holds %d entries, want 4: Lookup must be part of the key", s.memoSize())
+	}
+}
+
+// TestSampleWorkersPureStrategy pins the contract that lets SampleWorkers
+// stay out of the memo key: a sampled session running detailed windows on
+// 3 worker goroutines returns results deep-equal to a sequential one, so
+// memo entries produced at one worker count are valid at any other.
+func TestSampleWorkersPureStrategy(t *testing.T) {
+	sampled := func(workers int) Params {
+		p := tinyParams()
+		p.TraceCache = true
+		p.Sampling = sim.SamplingConfig{Period: 20_000, DetailLen: 4_000, WarmLen: 2_000, MinIntervals: 2}
+		p.SampleWorkers = workers
+		return p
+	}
+	seq := NewSession(sampled(1)).Run(sim.Unbiased(2, dramcache.LookupPredicted), "nekbone")
+	par := NewSession(sampled(3)).Run(sim.Unbiased(2, dramcache.LookupPredicted), "nekbone")
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("sampled results differ across SampleWorkers settings:\nworkers=1: %+v\nworkers=3: %+v", seq, par)
+	}
+	if seq.Sampled == nil || seq.Sampled.Intervals < 2 {
+		t.Fatalf("sampled run produced no interval estimates: %+v", seq.Sampled)
 	}
 }
 

@@ -82,8 +82,9 @@ func (e *Export) WriteJSON(w io.Writer) error {
 }
 
 // csvHeader is the flat CSV schema: one row per metric per sample. The
-// `phase` column is "final" for the end-of-run snapshot and "epoch" for
-// time-series samples (with `epoch` giving the sample index). Gauge
+// `phase` column is "final" for the end-of-run snapshot, "epoch" for
+// time-series samples, and "interval" for interval-sampled runs' per-
+// interval series (with `epoch` giving the sample index). Gauge
 // values go to `value` — left empty when the gauge is undefined, which
 // keeps a missing ratio distinguishable from a real 0. Counters fill
 // `count`; histograms fill `count`, `sum`, and semicolon-joined
@@ -109,8 +110,12 @@ func (e *Export) WriteCSV(w io.Writer) error {
 			return err
 		}
 		if r.Metrics.Series != nil {
+			phase := r.Metrics.Series.Phase
+			if phase == "" {
+				phase = "epoch"
+			}
 			for _, smp := range r.Metrics.Series.Samples {
-				if err := writeSampleRows(cw, r, "epoch", smp.Epoch, smp.Instructions, smp.Cycles, smp.Values); err != nil {
+				if err := writeSampleRows(cw, r, phase, smp.Epoch, smp.Instructions, smp.Cycles, smp.Values); err != nil {
 					return err
 				}
 			}

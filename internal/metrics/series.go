@@ -71,6 +71,11 @@ func (s *Series) Len() int {
 type SeriesData struct {
 	EveryInstr int64    `json:"every_instr"`
 	Samples    []Sample `json:"samples"`
+	// Phase labels the samples in the CSV export's phase column; empty
+	// means "epoch" (the registry-ticked time series). Interval-sampled
+	// runs set "interval": one synthesized sample per committed sampling
+	// interval.
+	Phase string `json:"phase,omitempty"`
 }
 
 // Data returns the exportable form (nil receiver yields a zero value).

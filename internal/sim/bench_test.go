@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"accord/internal/workloads"
@@ -77,4 +78,38 @@ func BenchmarkSampledRun(b *testing.B) {
 	}
 	b.Run("sampled", func(b *testing.B) { run(b, sampled) })
 	b.Run("exact", func(b *testing.B) { run(b, exact) })
+}
+
+// BenchmarkSampledParallel measures the parallel interval-sampling
+// driver against the sequential one on the same sampled run: detailed
+// windows fork off the functional spine onto a worker pool and commit
+// in interval order, so wall-clock should approach
+// max(spine, detail/workers) on real cores. Results are byte-identical
+// at every worker count (TestSampledParallelMatchesSequential), so the
+// ratio between sub-benchmarks is pure execution speedup — on a
+// single-hardware-thread host the workers>1 variants honestly report
+// ~1x plus coordination overhead. The stream is recorded once off the
+// clock; every timed run replays it.
+func BenchmarkSampledParallel(b *testing.B) {
+	_, cfg := sampledBase(ACCORD(2))
+	gen := workloads.MustGet("libquantum", cfg.Cores)
+	tc := workloads.NewTraceCache(1 << 30)
+	wl := gen
+	wl.Source = tc.Source(gen.Specs, cfg.AnchorLines(), cfg.Seed)
+
+	// Record the stream once, off the clock.
+	New(cfg, wl).Run("libquantum")
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.SampleWorkers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := New(c, wl).Run("libquantum"); res.Instructions == 0 {
+					b.Fatal("run retired no instructions")
+				}
+			}
+		})
+	}
 }

@@ -202,6 +202,70 @@ func (s *System) Restore(blob []byte, wlName string) error {
 	return nil
 }
 
+// RestoreFunctional loads a FunctionalSnapshot blob into a system of the
+// same Config and workload, then resets the interval-start timing state
+// — the snapshot deliberately omits timing, and every consumer (interval
+// forks, the sequential fork protocol, final-state canonicalization)
+// wants the canonical fresh-timing condition, so the reset is part of
+// the restore contract. On error the system state is unspecified and
+// must be discarded.
+func (s *System) RestoreFunctional(blob []byte, wlName string) error {
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		return err
+	}
+	if magic := d.Raw(len(snapshotMagic)); d.Err() == nil && string(magic) != snapshotMagic {
+		d.Failf("sim: bad snapshot magic %q", magic)
+	}
+	if schema := d.U32(); d.Err() == nil && schema != SnapshotSchema {
+		d.Failf("sim: snapshot schema %d, want %d", schema, SnapshotSchema)
+	}
+	if fp := d.String(); d.Err() == nil && fp != s.WarmFingerprint(wlName) {
+		d.Failf("sim: snapshot fingerprint mismatch:\n  have %s\n  want %s", fp, s.WarmFingerprint(wlName))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := s.vmsys.Restore(d); err != nil {
+		return err
+	}
+	if err := s.l4.Restore(d); err != nil {
+		return err
+	}
+	if n := d.U32(); d.Err() == nil && int(n) != len(s.cores) {
+		d.Failf("sim: snapshot has %d cores, system has %d", n, len(s.cores))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for _, c := range s.cores {
+		if err := c.RestoreFunctional(d); err != nil {
+			return err
+		}
+	}
+	if hier := d.Bool(); d.Err() == nil && hier != s.cfg.FullHierarchy {
+		d.Failf("sim: snapshot hierarchy=%t, config hierarchy=%t", hier, s.cfg.FullHierarchy)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if s.cfg.FullHierarchy {
+		if err := s.l3.Restore(d); err != nil {
+			return err
+		}
+		for _, h := range s.hiers {
+			if err := h.Restore(d); err != nil {
+				return err
+			}
+		}
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("sim: %d trailing bytes after functional snapshot", d.Remaining())
+	}
+	s.resetIntervalState()
+	return nil
+}
+
 // RunWithStore runs cfg on wl, consulting store (which may be nil) for a
 // warm-state checkpoint: a hit restores the boundary state and skips
 // warmup entirely; a miss warms up cold and saves the state for the next

@@ -4,8 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"accord/internal/cache"
+	"accord/internal/dram"
+	"accord/internal/dramcache"
 	"accord/internal/memtypes"
 	"accord/internal/metrics"
 	"accord/internal/stats"
@@ -154,6 +158,69 @@ type SampleSummary struct {
 	IPC     MetricCI // mean of per-core window IPCs, per interval
 	HitRate MetricCI // L4 demand-read hit rate over the measured windows
 	MPKI    MetricCI // L4 misses per kilo-instruction over the measured windows
+
+	// Series holds the per-interval observations in commit order — the
+	// population the CIs above summarize, exported as the sampled run's
+	// metric series (one sample per interval).
+	Series []IntervalObs
+}
+
+// IntervalObs is one committed sampling interval's observation. The OK
+// flags follow the undefined-not-zero convention: an interval whose
+// measured window saw no L4 reads contributes no hit-rate observation,
+// and the value field is left zero rather than NaN so the struct is
+// JSON-safe.
+type IntervalObs struct {
+	// Index is the 0-based interval index.
+	Index int
+	// Instructions and Cycles are the cumulative measured-window clocks
+	// through this interval (instructions summed over cores, cycles as
+	// the sum of per-interval longest windows).
+	Instructions int64
+	Cycles       int64
+
+	IPC       float64 // mean per-core window IPC
+	IPCOK     bool
+	HitRate   float64 // L4 demand-read hit rate over the measured window
+	HitRateOK bool
+	MPKI      float64 // L4 misses per kilo-instruction over the measured window
+	MPKIOK    bool
+}
+
+// metricValues renders the observation as registry-style gauge values
+// (nil pointer = undefined), the form the export schema shares with
+// epoch series samples.
+func (o IntervalObs) metricValues() []metrics.Value {
+	gauge := func(name string, v float64, ok bool) metrics.Value {
+		out := metrics.Value{Name: name, Kind: metrics.KindGauge.String()}
+		if ok {
+			val := v
+			out.Value = &val
+		}
+		return out
+	}
+	return []metrics.Value{
+		gauge("sampling.interval_ipc", o.IPC, o.IPCOK),
+		gauge("sampling.interval_hit_rate", o.HitRate, o.HitRateOK),
+		gauge("sampling.interval_mpki", o.MPKI, o.MPKIOK),
+	}
+}
+
+// sampledSeriesData synthesizes the exportable per-interval series from
+// committed observations. It is built after every goroutine of a
+// sampled run has joined — unlike the epoch series, it never snapshots
+// the live registry mid-run, which would race with the spine.
+func sampledSeriesData(series []IntervalObs) *metrics.SeriesData {
+	samples := make([]metrics.Sample, len(series))
+	for i, o := range series {
+		samples[i] = metrics.Sample{
+			Epoch:        o.Index,
+			Instructions: o.Instructions,
+			Cycles:       o.Cycles,
+			Values:       o.metricValues(),
+		}
+	}
+	return &metrics.SeriesData{EveryInstr: 1, Phase: "interval", Samples: samples}
 }
 
 // functional views of the two memory adapters: identical state
@@ -168,6 +235,16 @@ func (m memAdapter) ReadFunctional(line memtypes.LineAddr) {
 // WriteFunctional implements cpu.FunctionalMemory.
 func (m memAdapter) WriteFunctional(line memtypes.LineAddr) {
 	m.l4.WritebackFunctional(line)
+}
+
+// BatchFunctional implements cpu.BatchFunctionalMemory: one interface
+// call hands a whole trace-cache window to the backend, whose concrete
+// batch loop applies the same per-event transitions without a dynamic
+// dispatch per event. The flag convention matches by construction:
+// dramcache.FunctionalWrite == workloads.FlagWrite, and backends ignore
+// the remaining bits (FlagDep is a core-side stall hint).
+func (m memAdapter) BatchFunctional(lines []memtypes.LineAddr, flags []uint8) {
+	m.l4.FunctionalBatch(lines, flags)
 }
 
 // ReadFunctional implements cpu.FunctionalMemory: the SRAM hierarchy's
@@ -213,18 +290,47 @@ func (s *System) SupportsFunctional() bool {
 	return len(s.cores) > 0
 }
 
+// funcRoundQuantum is the per-core instruction granule of the batched
+// multi-core functional round-robin. It must be a fixed constant: the
+// trace cache serves smaller windows while a stream is first being
+// recorded than on replay, so interleaving by window length would make
+// the same run's state trajectory depend on what happens to be cached.
+// Interleaving by a fixed instruction quantum is independent of window
+// geometry, so recording and replaying runs stay byte-identical.
+const funcRoundQuantum = 1 << 13
+
 // advanceFunctional fast-forwards every core i to targets[i] total
-// retired instructions using StepFunctional, interleaving cores
-// round-robin one event at a time (functional mode has no clock to order
-// by). No overshoot pacing: without timing there is no shared-resource
-// contention for finished cores to sustain.
+// retired instructions. When every core supports the batch path
+// (trace-cache-backed stream + batch-capable memory adapter), whole
+// windows are consumed per call via StepFunctionalBatch; otherwise the
+// legacy per-event StepFunctional loop runs. Multi-core systems
+// interleave cores round-robin — funcRoundQuantum instructions per turn
+// when batched, one event per turn otherwise (functional mode has no
+// clock to order by, so any fixed deterministic interleaving is valid;
+// each mode is internally deterministic). No overshoot pacing: without
+// timing there is no shared-resource contention for finished cores to
+// sustain.
 func (s *System) advanceFunctional(targets []int64) {
 	if len(s.cores) == 1 {
 		c := s.cores[0]
-		for t := targets[0]; c.Instructions() < t; {
+		t := targets[0]
+		if c.SupportsBatchFunctional() {
+			for c.Instructions() < t {
+				c.StepFunctionalBatch(t)
+			}
+			return
+		}
+		for c.Instructions() < t {
 			c.StepFunctional()
 		}
 		return
+	}
+	batched := true
+	for _, c := range s.cores {
+		if !c.SupportsBatchFunctional() {
+			batched = false
+			break
+		}
 	}
 	s.ensureRunBuffers()
 	done := s.done
@@ -234,6 +340,27 @@ func (s *System) advanceFunctional(targets []int64) {
 		if !done[i] {
 			remaining++
 		}
+	}
+	if batched {
+		for remaining > 0 {
+			for i, c := range s.cores {
+				if done[i] {
+					continue
+				}
+				stepT := c.Instructions() + funcRoundQuantum
+				if stepT > targets[i] {
+					stepT = targets[i]
+				}
+				for c.Instructions() < stepT {
+					c.StepFunctionalBatch(stepT)
+				}
+				if c.Instructions() >= targets[i] {
+					done[i] = true
+					remaining--
+				}
+			}
+		}
+		return
 	}
 	for remaining > 0 {
 		for i, c := range s.cores {
@@ -276,122 +403,438 @@ func (s *System) RunWarmupFunctional() {
 	}
 }
 
+// resetIntervalState puts the system's timing and statistics state into
+// the canonical interval-start condition: zeroed component stats, fresh
+// device timing (row buffers, busy intervals, write backlogs), and cores
+// at cycle zero with empty MSHRs and cold translation memos. Both the
+// sequential and the parallel samplers apply it at every interval
+// boundary, so a measured window's starting state is a pure function of
+// the functional state at its boundary — the property that makes
+// worker-count-independent results possible (DESIGN.md §12).
+func (s *System) resetIntervalState() {
+	s.l4.ResetStats()
+	s.hbm.ResetStats()
+	s.hbm.ResetTiming()
+	s.pcm.ResetStats()
+	s.pcm.ResetTiming()
+	if s.l3 != nil {
+		s.l3.ResetStats()
+	}
+	for _, c := range s.cores {
+		c.ResetSampleTiming()
+	}
+}
+
+// intervalResult is everything one measured interval contributes to the
+// sampled run, captured on whichever System executed the detailed legs
+// (the main system sequentially, a fork in parallel mode) so commit can
+// fold it in without touching live component state.
+type intervalResult struct {
+	index int
+	// blob is the functional snapshot of the boundary state the detailed
+	// legs started from. finishSampled restores the last committed one to
+	// canonicalize the final system state; nil in in-place sequential
+	// mode, where the live system already carries that state.
+	blob []byte
+
+	// Per-core detail-leg end state, copied out of the run buffers.
+	endInstr  []int64
+	endReads  []uint64
+	endWrites []uint64
+	endDep    []uint64
+	endMshr   []uint64
+	winInstr  []int64 // measured-window instructions (finish points)
+	winCyc    []int64 // measured-window cycles
+
+	// Component stat deltas over warm+detail (state was reset at the
+	// boundary, so the totals ARE the deltas).
+	l4    dramcache.Stats
+	hbm   dram.Stats
+	pcm   dram.Stats
+	l3    cache.Stats
+	hasL3 bool
+
+	// Measured-window L4 demand-read deltas (baseline after the warm
+	// leg, so re-warm traffic is excluded from hit rate and MPKI).
+	winReads uint64
+	winHits  uint64
+}
+
+// measureInterval runs the detailed warm + measured legs of one interval
+// from the current (boundary) state and captures the result. Leg targets
+// are absolute offsets from the boundary position — warm ends at B+Warm,
+// detail at B+Warm+Detail — never chained off the previous leg's actual
+// end, so overshoot cannot accumulate and the detail leg's final stop
+// event is the same one a single functional advance to B+Warm+Detail
+// would stop at (the crossing of a monotone threshold over the same
+// event sequence).
+func (s *System) measureInterval(sc SamplingConfig) *intervalResult {
+	n := len(s.cores)
+	r := &intervalResult{
+		endInstr:  make([]int64, n),
+		endReads:  make([]uint64, n),
+		endWrites: make([]uint64, n),
+		endDep:    make([]uint64, n),
+		endMshr:   make([]uint64, n),
+		winInstr:  make([]int64, n),
+		winCyc:    make([]int64, n),
+	}
+	targets := make([]int64, n)
+	base := make([]int64, n)
+	for i, c := range s.cores {
+		base[i] = c.Instructions()
+	}
+	// Detailed but unmeasured: re-warm row buffers, MSHRs, and the other
+	// timing state the boundary reset cleared.
+	if sc.WarmLen > 0 {
+		for i := range targets {
+			targets[i] = base[i] + sc.WarmLen
+		}
+		s.advanceUntil(targets)
+	}
+	// Detailed and measured.
+	for _, c := range s.cores {
+		c.MarkWindow()
+	}
+	st := s.l4.Stats()
+	reads0, hits0 := st.Reads, st.ReadHits
+	for i := range targets {
+		targets[i] = base[i] + sc.WarmLen + sc.DetailLen
+	}
+	finish := s.advanceUntil(targets)
+	for i, c := range s.cores {
+		r.winInstr[i] = finish[i].instr
+		r.winCyc[i] = finish[i].cycles
+		r.endInstr[i] = c.Instructions()
+		r.endReads[i], r.endWrites[i], r.endDep[i], r.endMshr[i] = c.Counters()
+	}
+	r.winReads, r.winHits = st.Reads-reads0, st.ReadHits-hits0
+	r.l4 = *st
+	r.hbm = s.hbm.Stats()
+	r.pcm = s.pcm.Stats()
+	if s.l3 != nil {
+		r.hasL3 = true
+		r.l3 = s.l3.Stats()
+	}
+	return r
+}
+
+// sampleState accumulates committed interval results. All mutation goes
+// through commit, which is only ever called from one goroutine (the
+// caller's), strictly in interval order — so the observation sequence,
+// the early-stop decision, and every aggregate below are identical at
+// any worker count.
+type sampleState struct {
+	sc      SamplingConfig
+	conf    float64
+	planned int
+	wlName  string
+
+	intervals  int
+	converged  bool
+	mInstr     int64
+	mCycles    int64
+	ipcObs     []float64
+	hitObs     []float64
+	mpkiObs    []float64
+	coreIPCSum []float64
+	coreIPCN   []int
+	series     []IntervalObs
+
+	// Component stats summed over committed intervals; finishSampled
+	// imposes them on the final system so the exported registry snapshot
+	// reflects exactly the committed measurements.
+	aggL4  dramcache.Stats
+	aggHBM dram.Stats
+	aggPCM dram.Stats
+	aggL3  cache.Stats
+
+	mshrSum     []uint64
+	winInstrSum []int64
+	winCycSum   []int64
+
+	// last is the most recently committed interval; its blob anchors the
+	// final-state canonicalization.
+	last *intervalResult
+}
+
+func newSampleState(sc SamplingConfig, planned, nCores int, wlName string) *sampleState {
+	return &sampleState{
+		sc:          sc,
+		conf:        sc.ConfidenceLevel(),
+		planned:     planned,
+		wlName:      wlName,
+		ipcObs:      make([]float64, 0, planned),
+		hitObs:      make([]float64, 0, planned),
+		mpkiObs:     make([]float64, 0, planned),
+		coreIPCSum:  make([]float64, nCores),
+		coreIPCN:    make([]int, nCores),
+		series:      make([]IntervalObs, 0, planned),
+		mshrSum:     make([]uint64, nCores),
+		winInstrSum: make([]int64, nCores),
+		winCycSum:   make([]int64, nCores),
+	}
+}
+
+// commit folds interval r — which MUST be the next interval in order —
+// into the accumulated state and reports whether sampling should stop
+// (converged below TargetCI, or the planned budget is exhausted). The
+// early-stop test runs over the ordered committed prefix only, so the
+// stopping interval count is a pure function of the observation
+// sequence, not of how much speculative work was in flight.
+func (st *sampleState) commit(r *intervalResult) (stop bool) {
+	var instr, maxCyc int64
+	ipcSum, ipcN := 0.0, 0
+	for i := range r.winInstr {
+		ins, cyc := r.winInstr[i], r.winCyc[i]
+		instr += ins
+		if cyc > maxCyc {
+			maxCyc = cyc
+		}
+		if cyc > 0 {
+			ipc := float64(ins) / float64(cyc)
+			ipcSum += ipc
+			ipcN++
+			st.coreIPCSum[i] += ipc
+			st.coreIPCN[i]++
+		}
+		st.mshrSum[i] += r.endMshr[i]
+		st.winInstrSum[i] += ins
+		st.winCycSum[i] += cyc
+	}
+	st.mInstr += instr
+	st.mCycles += maxCyc
+	st.intervals++
+
+	obs := IntervalObs{Index: r.index, Instructions: st.mInstr, Cycles: st.mCycles}
+	if ipcN > 0 {
+		obs.IPC, obs.IPCOK = ipcSum/float64(ipcN), true
+		st.ipcObs = append(st.ipcObs, obs.IPC)
+	}
+	// Hit rate and MPKI come from L4 stat deltas across the measured
+	// window only. An interval with no L4 reads contributes no hit-rate
+	// observation — undefined, not zero.
+	dr, dh := r.winReads, r.winHits
+	if dr > 0 {
+		obs.HitRate, obs.HitRateOK = float64(dh)/float64(dr), true
+		st.hitObs = append(st.hitObs, obs.HitRate)
+	}
+	if instr > 0 {
+		obs.MPKI, obs.MPKIOK = float64(dr-dh)*1000/float64(instr), true
+		st.mpkiObs = append(st.mpkiObs, obs.MPKI)
+	}
+	st.series = append(st.series, obs)
+
+	st.aggL4.Add(r.l4)
+	st.aggHBM.Add(r.hbm)
+	st.aggPCM.Add(r.pcm)
+	if r.hasL3 {
+		st.aggL3.Add(r.l3)
+	}
+	if st.last != nil {
+		st.last.blob = nil // superseded boundary; release the bytes
+	}
+	st.last = r
+
+	if st.sc.TargetCI > 0 && st.intervals >= st.sc.MinIntervals {
+		if mean, half, ok := stats.MeanCI(st.ipcObs, st.conf); ok && mean > 0 && half/mean <= st.sc.TargetCI {
+			st.converged = true
+			return true
+		}
+	}
+	return st.intervals >= st.planned
+}
+
+// sampleForkable reports whether this system's intervals can run on
+// forked copies: the workload must be reconstructible per fork (a
+// Streams override hands the system pre-built stream objects that a fork
+// would share destructively; generator and trace-cache workloads rebuild
+// cleanly), and the functional state must snapshot (an nway policy
+// without checkpoint support cannot). Non-forkable systems degrade to
+// the in-place sequential sampler.
+func (s *System) sampleForkable(wlName string) bool {
+	if s.wl.Streams != nil && s.wl.Source == nil {
+		return false
+	}
+	if _, err := s.FunctionalSnapshot(wlName); err != nil {
+		return false
+	}
+	return true
+}
+
 // RunSampled executes a sampled run: functional warmup, then alternating
 // functional/detailed windows per SamplingConfig, collecting
 // per-interval observations until the budget is exhausted or the IPC
 // confidence interval tightens below TargetCI. Run dispatches here when
 // sampling is enabled.
+//
+// Config.SampleWorkers picks the executor: ≤1 runs intervals on the
+// caller's goroutine; >1 forks each interval's detailed legs off the
+// functional spine onto a worker pool (sampling_parallel.go). The two
+// produce identical Results — same observation sequence, same summary,
+// same final registry snapshot — by construction; see DESIGN.md §12.
 func (s *System) RunSampled(wlName string) Result {
 	sc := s.cfg.Sampling
 	if !sc.Enabled() {
 		panic("sim: RunSampled without Sampling.Period")
 	}
-	conf := sc.ConfidenceLevel()
+	start := time.Now()
 
 	s.RunWarmupFunctional()
 
-	planned := s.cfg.MeasureInstr / sc.Period
-	if planned < 1 {
-		planned = 1
+	planned64 := s.cfg.MeasureInstr / sc.Period
+	if planned64 < 1 {
+		planned64 = 1
 	}
-	if sc.MaxIntervals > 0 && planned > int64(sc.MaxIntervals) {
-		planned = int64(sc.MaxIntervals)
+	if sc.MaxIntervals > 0 && planned64 > int64(sc.MaxIntervals) {
+		planned64 = int64(sc.MaxIntervals)
 	}
+	planned := int(planned64)
+
+	st := newSampleState(sc, planned, len(s.cores), wlName)
+
+	workers := s.cfg.SampleWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > planned {
+		workers = planned
+	}
+	forkable := false
+	if workers > 1 || len(s.cores) > 1 {
+		forkable = s.sampleForkable(wlName)
+	}
+	if !forkable {
+		workers = 1
+	}
+	s.work = SampleWork{Workers: workers}
+	if workers <= 1 {
+		s.runSampledSequential(st, forkable)
+	} else {
+		s.runSampledParallel(st, workers)
+	}
+	s.work.Committed = st.intervals
+	s.work.Discarded = s.work.Dispatched - st.intervals
+
+	res := s.finishSampled(st, wlName)
+	s.work.WallTime = time.Since(start)
+	return res
+}
+
+// runSampledSequential drives intervals on the caller's goroutine. Two
+// modes share the loop:
+//
+//   - In-place (single core, or a system that cannot fork): the detailed
+//     legs run on the live system and the following functional advance
+//     continues from wherever they ended. For a single core this is
+//     byte-equivalent to the fork protocol — the §9 contract makes
+//     functional and detailed execution of the same events produce
+//     identical functional state, and absolute leg targets make them
+//     consume the same events — so it is used as the cheaper path.
+//   - Fork protocol (multi-core forkable systems): snapshot the boundary,
+//     measure, restore, and re-advance functionally — the exact
+//     trajectory the parallel spine takes, which is what makes
+//     SampleWorkers=1 and SampleWorkers=N byte-identical even though
+//     multi-core functional and detailed interleavings differ.
+func (s *System) runSampledSequential(st *sampleState, forkable bool) {
+	sc := st.sc
 	funcLen := sc.Period - sc.WarmLen - sc.DetailLen
-
 	n := len(s.cores)
-	targets := make([]int64, n)
-	ipcObs := make([]float64, 0, planned)
-	hitObs := make([]float64, 0, planned)
-	mpkiObs := make([]float64, 0, planned)
-	coreIPCSum := make([]float64, n)
-	coreIPCN := make([]int, n)
+	inPlace := n == 1 || !forkable
 
-	// One sample per interval: the cumulative measured clocks only grow,
-	// so an every=1 series records exactly one sample per Tick.
-	series := metrics.NewSeries(s.reg, 1)
-
-	var mInstr, mCycles int64
-	intervals := 0
-	converged := false
-	for k := int64(0); k < planned; k++ {
-		// 1. Functional fast-forward through the bulk of the period.
-		if funcLen > 0 {
-			for i, c := range s.cores {
-				targets[i] = c.Instructions() + funcLen
+	next := make([]int64, n)
+	for i, c := range s.cores {
+		next[i] = c.Instructions() + funcLen
+	}
+	for k := 0; ; k++ {
+		t0 := time.Now()
+		if k > 0 || funcLen > 0 {
+			s.advanceFunctional(next)
+		}
+		s.resetIntervalState()
+		var blob []byte
+		if !inPlace {
+			b, err := s.FunctionalSnapshot(st.wlName)
+			if err != nil {
+				panic(fmt.Sprintf("sim: interval snapshot failed after passing the forkability trial: %v", err))
 			}
-			s.advanceFunctional(targets)
+			blob = b
 		}
-		// 2. Detailed but unmeasured: re-warm row buffers, MSHRs, and the
-		// other timing state functional mode skipped.
-		if sc.WarmLen > 0 {
-			for i, c := range s.cores {
-				targets[i] = c.Instructions() + sc.WarmLen
-			}
-			s.advanceUntil(targets)
-		}
-		// 3. Detailed and measured.
-		for _, c := range s.cores {
-			c.MarkWindow()
-		}
-		st := s.l4.Stats()
-		reads0, hits0 := st.Reads, st.ReadHits
+		// The next boundary is an absolute target captured NOW, before the
+		// detailed legs move the cores: B + Period.
 		for i, c := range s.cores {
-			targets[i] = c.Instructions() + sc.DetailLen
+			next[i] = c.Instructions() + sc.Period
 		}
-		finish := s.advanceUntil(targets)
+		s.work.SpineTime += time.Since(t0)
 
-		var instr, maxCyc int64
-		ipcSum, ipcN := 0.0, 0
-		for i := range s.cores {
-			cyc, ins := finish[i].cycles, finish[i].instr
-			instr += ins
-			if cyc > maxCyc {
-				maxCyc = cyc
+		t1 := time.Now()
+		r := s.measureInterval(sc)
+		s.work.DetailTime += time.Since(t1)
+		r.index = k
+		r.blob = blob
+		s.work.Dispatched++
+		if st.commit(r) {
+			return
+		}
+		if !inPlace {
+			t2 := time.Now()
+			if err := s.RestoreFunctional(blob, st.wlName); err != nil {
+				panic(fmt.Sprintf("sim: boundary restore failed: %v", err))
 			}
-			if cyc > 0 {
-				ipc := float64(ins) / float64(cyc)
-				ipcSum += ipc
-				ipcN++
-				coreIPCSum[i] += ipc
-				coreIPCN[i]++
-			}
+			s.work.SpineTime += time.Since(t2)
 		}
-		mInstr += instr
-		mCycles += maxCyc
-		intervals++
-		if ipcN > 0 {
-			ipcObs = append(ipcObs, ipcSum/float64(ipcN))
-		}
-		// Hit rate and MPKI come from L4 stat deltas across the measured
-		// window only (the warm segment's traffic is excluded by taking
-		// the baseline after step 2). An interval with no L4 reads
-		// contributes no hit-rate observation — undefined, not zero.
-		dr, dh := st.Reads-reads0, st.ReadHits-hits0
-		if dr > 0 {
-			hitObs = append(hitObs, float64(dh)/float64(dr))
-		}
-		if instr > 0 {
-			mpkiObs = append(mpkiObs, float64(dr-dh)*1000/float64(instr))
-		}
-		series.Tick(mInstr, mCycles)
+	}
+}
 
-		if sc.TargetCI > 0 && intervals >= sc.MinIntervals {
-			if mean, half, ok := stats.MeanCI(ipcObs, conf); ok && mean > 0 && half/mean <= sc.TargetCI {
-				converged = true
-				break
+// finishSampled canonicalizes the final system state, imposes the
+// committed aggregates, and builds the Result. The canonical final state
+// is "the last committed interval's boundary, plus its warm+detail
+// events executed functionally": restoring the boundary blob erases
+// everything any speculative or discarded work did to the live system
+// (including policy diagnostic counters inside the L4 state), and the
+// functional re-advance lands exactly where the in-place sequential
+// path's detailed legs would (§9). Component stats are then overwritten
+// with the sums over committed intervals, so the registry snapshot the
+// Result exports is identical at every worker count.
+func (s *System) finishSampled(st *sampleState, wlName string) Result {
+	sc := st.sc
+	if last := st.last; last != nil {
+		if last.blob != nil {
+			t0 := time.Now()
+			if err := s.RestoreFunctional(last.blob, st.wlName); err != nil {
+				panic(fmt.Sprintf("sim: final boundary restore failed: %v", err))
 			}
+			if adv := sc.WarmLen + sc.DetailLen; adv > 0 {
+				targets := make([]int64, len(s.cores))
+				for i, c := range s.cores {
+					targets[i] = c.Instructions() + adv
+				}
+				s.advanceFunctional(targets)
+			}
+			s.work.SpineTime += time.Since(t0)
+			last.blob = nil
+		}
+		*s.l4.Stats() = st.aggL4
+		s.hbm.SetStats(st.aggHBM)
+		s.pcm.SetStats(st.aggPCM)
+		if s.l3 != nil {
+			s.l3.SetStats(st.aggL3)
+		}
+		for i, c := range s.cores {
+			c.SetSampledFinal(last.endInstr[i], last.endReads[i], last.endWrites[i],
+				last.endDep[i], st.mshrSum[i], st.winInstrSum[i], st.winCycSum[i])
 		}
 	}
 
 	sum := &SampleSummary{
-		Intervals:  intervals,
-		Planned:    int(planned),
-		Converged:  converged,
-		Confidence: conf,
-		IPC:        metricCI(ipcObs, conf),
-		HitRate:    metricCI(hitObs, conf),
-		MPKI:       metricCI(mpkiObs, conf),
+		Intervals:  st.intervals,
+		Planned:    st.planned,
+		Converged:  st.converged,
+		Confidence: st.conf,
+		IPC:        metricCI(st.ipcObs, st.conf),
+		HitRate:    metricCI(st.hitObs, st.conf),
+		MPKI:       metricCI(st.mpkiObs, st.conf),
+		Series:     st.series,
 	}
 	s.sample = sum
 
@@ -407,14 +850,14 @@ func (s *System) RunSampled(wlName string) Result {
 		res.L3 = s.l3.Stats()
 	}
 	for i := range s.cores {
-		if coreIPCN[i] > 0 {
-			res.IPC = append(res.IPC, coreIPCSum[i]/float64(coreIPCN[i]))
+		if st.coreIPCN[i] > 0 {
+			res.IPC = append(res.IPC, st.coreIPCSum[i]/float64(st.coreIPCN[i]))
 		} else {
 			res.IPC = append(res.IPC, 0)
 		}
 	}
-	res.Cycles = mCycles
-	res.Instructions = mInstr
+	res.Cycles = st.mCycles
+	res.Instructions = st.mInstr
 	for _, c := range s.cores {
 		reads, writes, _, _ := c.Counters()
 		res.Events += int64(reads + writes)
@@ -422,8 +865,7 @@ func (s *System) RunSampled(wlName string) Result {
 	}
 	s.resIPC = res.IPC
 	rm := &metrics.RunMetrics{Final: s.reg.Snapshot()}
-	data := series.Data()
-	rm.Series = &data
+	rm.Series = sampledSeriesData(st.series)
 	res.Metrics = rm
 	return res
 }

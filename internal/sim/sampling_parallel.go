@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parallel interval sampling (DESIGN.md §12). One spine goroutine owns
+// the live system and advances it functionally, period by period. At
+// each interval boundary it resets the canonical interval-start state,
+// serializes a functional snapshot, and hands {index, blob} to a worker
+// pool; each worker restores the blob into its own fork System and runs
+// the detailed warm+measured legs there. Results are committed strictly
+// in interval order on the caller's goroutine, so the observation
+// sequence — and therefore the early-stop decision — is identical to
+// the sequential sampler's at any worker count.
+//
+// Speculation accounting: the spine runs ahead of the committed prefix
+// by up to the jobs-channel buffer plus the in-flight workers (~2x the
+// worker count). Intervals dispatched past the early-stop point are
+// cancelled (workers observe the stop channel and skip them) or their
+// results discarded by the committer; SampleWork reports the split. The
+// discarded work never touches the live system — forks are separate
+// Systems — and finishSampled's restore of the last committed boundary
+// erases the spine's own speculative functional advance.
+
+// forceFreshForkSystems makes every worker rebuild its fork System per
+// job instead of reusing one across intervals. Test hook: the pooled-
+// fork differential test proves RestoreFunctional + resetIntervalState
+// fully reset a reused fork by comparing against this mode.
+var forceFreshForkSystems = false
+
+// SampleWork reports how a sampled run's execution was split. It is
+// diagnostic only — wall-clock and speculation counts depend on worker
+// count and scheduling — and is deliberately kept out of Result and the
+// exported metrics, which are identical at any worker count.
+type SampleWork struct {
+	// Workers is the resolved worker count actually used (after the
+	// GOMAXPROCS default, the planned-interval cap, and the forkability
+	// gate).
+	Workers int
+	// Dispatched counts intervals whose detailed legs were started;
+	// Committed counts those folded into the result (always the ordered
+	// prefix); Discarded = Dispatched - Committed is the speculative
+	// overshoot past the early-stop point.
+	Dispatched int
+	Committed  int
+	Discarded  int
+	// SpineTime is time spent advancing the live system functionally and
+	// snapshotting/restoring boundaries; DetailTime is the total detailed
+	// simulation time across all workers (it can exceed WallTime when
+	// workers overlap); WallTime covers all of RunSampled.
+	SpineTime  time.Duration
+	DetailTime time.Duration
+	WallTime   time.Duration
+}
+
+// SampleWork returns the execution split of the last sampled run (zero
+// value before any).
+func (s *System) SampleWork() SampleWork { return s.work }
+
+// sampleJob hands one interval boundary to the worker pool.
+type sampleJob struct {
+	index int
+	blob  []byte
+}
+
+// runSampledParallel drives intervals on a worker pool fed by a
+// functional spine. The caller's goroutine is the committer.
+func (s *System) runSampledParallel(st *sampleState, workers int) {
+	sc := st.sc
+	funcLen := sc.Period - sc.WarmLen - sc.DetailLen
+	n := len(s.cores)
+
+	// jobs is buffered so the spine can run ahead while all workers are
+	// busy; its capacity bounds speculation depth. results is drained
+	// unconditionally by the committer, so workers never block on it
+	// indefinitely.
+	jobs := make(chan sampleJob, workers)
+	results := make(chan *intervalResult, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	stopAll := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Spine-local counters, published to s.work only after spineDone.
+	var dispatched int
+	var spineNS int64
+	var detailNS int64 // atomic: added by every worker
+	spineDone := make(chan struct{})
+
+	go func() { // spine
+		defer close(jobs)
+		defer close(spineDone)
+		next := make([]int64, n)
+		for i, c := range s.cores {
+			next[i] = c.Instructions() + funcLen
+		}
+		for k := 0; k < st.planned; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if k > 0 || funcLen > 0 {
+				s.advanceFunctional(next)
+			}
+			s.resetIntervalState()
+			blob, err := s.FunctionalSnapshot(st.wlName)
+			if err != nil {
+				panic(fmt.Sprintf("sim: interval snapshot failed after passing the forkability trial: %v", err))
+			}
+			// The next boundary is an absolute target captured at this one:
+			// B + Period, independent of any detailed leg's overshoot.
+			for i, c := range s.cores {
+				next[i] = c.Instructions() + sc.Period
+			}
+			spineNS += int64(time.Since(t0))
+			select {
+			case jobs <- sampleJob{index: k, blob: blob}:
+				dispatched++
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var fork *System
+			for job := range jobs {
+				select {
+				case <-stop:
+					continue // cancelled: drain the queue without simulating
+				default:
+				}
+				if fork == nil || forceFreshForkSystems {
+					fork = New(s.cfg, s.wl)
+				}
+				if err := fork.RestoreFunctional(job.blob, st.wlName); err != nil {
+					panic(fmt.Sprintf("sim: fork restore failed: %v", err))
+				}
+				t0 := time.Now()
+				r := fork.measureInterval(sc)
+				atomic.AddInt64(&detailNS, int64(time.Since(t0)))
+				r.index = job.index
+				r.blob = job.blob
+				results <- r
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Committer: fold results into st strictly in interval order. Out-of-
+	// order arrivals park in pending until their predecessors land.
+	pending := make(map[int]*intervalResult, workers)
+	nextCommit := 0
+	stopped := false
+	for r := range results {
+		if stopped {
+			continue // past the stop point: discard
+		}
+		pending[r.index] = r
+		for {
+			q, ok := pending[nextCommit]
+			if !ok {
+				break
+			}
+			delete(pending, nextCommit)
+			nextCommit++
+			if st.commit(q) {
+				stopped = true
+				stopAll()
+				break
+			}
+		}
+	}
+	stopAll()
+	<-spineDone
+
+	s.work.Dispatched = dispatched
+	s.work.SpineTime = time.Duration(spineNS)
+	s.work.DetailTime = time.Duration(atomic.LoadInt64(&detailNS))
+}

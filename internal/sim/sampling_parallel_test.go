@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"accord/internal/workloads"
+)
+
+// parallelCases spans every L4 organization across the equivalence
+// matrix the parallel sampler must honor: single- and multi-core,
+// early-stop on and off. Small scale keeps the full matrix fast.
+func parallelCases(cores int, earlyStop bool) []Config {
+	shrink := func(cfg Config) Config {
+		cfg.Scale = 8192
+		cfg.Cores = cores
+		cfg.DisableAdaptiveBudgets = true
+		cfg.WarmupInstr = 50_000
+		cfg.MeasureInstr = 300_000
+		cfg.Seed = 1
+		cfg.Sampling = SamplingConfig{
+			Period:       50_000,
+			DetailLen:    12_000,
+			WarmLen:      5_000,
+			MinIntervals: 2,
+		}
+		if earlyStop {
+			// ±50% converges after two or three intervals, leaving planned
+			// intervals undispatched and speculative results to discard.
+			cfg.Sampling.TargetCI = 0.5
+		}
+		return cfg
+	}
+	return []Config{
+		shrink(DirectMapped()),
+		shrink(ACCORD(2)),
+		shrink(CACache()),
+		shrink(Banshee()),
+		shrink(Gemini()),
+		shrink(TDRAM(2)),
+	}
+}
+
+// traceWorkload wraps wlName in a fresh trace cache so forks replay the
+// exact event stream the spine consumes (the configuration exp runs).
+func traceWorkload(wlName string, cfg Config) workloads.Workload {
+	gen := workloads.MustGet(wlName, cfg.Cores)
+	tc := workloads.NewTraceCache(1 << 30)
+	wl := gen
+	wl.Source = tc.Source(gen.Specs, cfg.AnchorLines(), cfg.Seed)
+	return wl
+}
+
+// runSampledWorkers runs one sampled simulation at the given worker
+// count and returns the Result, its JSON encoding, and the final
+// functional state of the system.
+func runSampledWorkers(t *testing.T, cfg Config, wl workloads.Workload, wlName string, workers int) (Result, []byte, []byte, SampleWork) {
+	t.Helper()
+	c := cfg
+	c.SampleWorkers = workers
+	s := New(c, wl)
+	res := s.Run(wlName)
+	js, err := json.MarshalIndent(res.Metrics, "", " ")
+	if err != nil {
+		t.Fatalf("marshal metrics: %v", err)
+	}
+	state, err := s.FunctionalSnapshot(wlName)
+	if err != nil {
+		t.Fatalf("final FunctionalSnapshot: %v", err)
+	}
+	return res, js, state, s.SampleWork()
+}
+
+// TestSampledParallelMatchesSequential is the tentpole equivalence gate:
+// for every L4 organization, single- and multi-core, with and without
+// early stopping, a parallel sampled run must reproduce the sequential
+// run exactly — same Result (summary, per-interval series, stats,
+// registry snapshot), same exported metrics JSON, and byte-identical
+// final functional state — at every worker count. Run it under -race to
+// also prove the fork protocol shares no state it shouldn't.
+func TestSampledParallelMatchesSequential(t *testing.T) {
+	const wlName = "libquantum"
+	for _, cores := range []int{1, 2} {
+		for _, earlyStop := range []bool{false, true} {
+			for _, cfg := range parallelCases(cores, earlyStop) {
+				cfg := cfg
+				name := fmt.Sprintf("%s-%dc-stop=%t", cfg.Name, cores, earlyStop)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					wl := traceWorkload(wlName, cfg)
+					seqRes, seqJS, seqState, seqWork := runSampledWorkers(t, cfg, wl, wlName, 1)
+					if seqWork.Workers != 1 {
+						t.Fatalf("sequential run resolved %d workers, want 1", seqWork.Workers)
+					}
+					for _, workers := range []int{2, 3} {
+						parRes, parJS, parState, parWork := runSampledWorkers(t, cfg, wl, wlName, workers)
+						if !reflect.DeepEqual(seqRes, parRes) {
+							t.Errorf("workers=%d: Result diverged from sequential\nseq sampled: %+v\npar sampled: %+v",
+								workers, seqRes.Sampled, parRes.Sampled)
+						}
+						if !bytes.Equal(seqJS, parJS) {
+							t.Errorf("workers=%d: exported metrics JSON diverged from sequential", workers)
+						}
+						if !bytes.Equal(seqState, parState) {
+							t.Errorf("workers=%d: final functional state diverged from sequential (%d vs %d bytes)",
+								workers, len(seqState), len(parState))
+						}
+						if parWork.Committed != seqRes.Sampled.Intervals {
+							t.Errorf("workers=%d: committed %d intervals, summary says %d",
+								workers, parWork.Committed, seqRes.Sampled.Intervals)
+						}
+						if parWork.Discarded != parWork.Dispatched-parWork.Committed {
+							t.Errorf("workers=%d: speculation accounting broken: %+v", workers, parWork)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSampledParallelGeneratorWorkload covers the non-trace path: forks
+// rebuild generator streams from the workload spec and restore their
+// cursors from the functional snapshot. One config suffices — the
+// stream-restore machinery is shared across organizations.
+func TestSampledParallelGeneratorWorkload(t *testing.T) {
+	cfg := parallelCases(2, false)[1] // accord-2way
+	wl := workloads.MustGet("milc", cfg.Cores)
+	seqRes, seqJS, seqState, _ := runSampledWorkers(t, cfg, wl, "milc", 1)
+	parRes, parJS, parState, _ := runSampledWorkers(t, cfg, wl, "milc", 3)
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Errorf("generator workload: parallel Result diverged from sequential")
+	}
+	if !bytes.Equal(seqJS, parJS) {
+		t.Errorf("generator workload: exported metrics JSON diverged")
+	}
+	if !bytes.Equal(seqState, parState) {
+		t.Errorf("generator workload: final functional state diverged")
+	}
+}
+
+// TestSampledPooledForkReset proves a pooled fork System is fully reset
+// between intervals: a run whose workers rebuild a fresh fork for every
+// job must match a run that reuses one fork across all of them. Any
+// state RestoreFunctional + the interval reset miss would surface as a
+// divergence here. Mutates the global test hook, so no t.Parallel.
+func TestSampledPooledForkReset(t *testing.T) {
+	const wlName = "libquantum"
+	for _, cfg := range []Config{parallelCases(2, false)[1], parallelCases(2, true)[5]} {
+		wl := traceWorkload(wlName, cfg)
+		pooledRes, pooledJS, pooledState, _ := runSampledWorkers(t, cfg, wl, wlName, 3)
+
+		forceFreshForkSystems = true
+		freshRes, freshJS, freshState, _ := runSampledWorkers(t, cfg, wl, wlName, 3)
+		forceFreshForkSystems = false
+
+		if !reflect.DeepEqual(pooledRes, freshRes) {
+			t.Errorf("%s: pooled-fork Result diverged from fresh-fork", cfg.Name)
+		}
+		if !bytes.Equal(pooledJS, freshJS) {
+			t.Errorf("%s: pooled-fork metrics JSON diverged from fresh-fork", cfg.Name)
+		}
+		if !bytes.Equal(pooledState, freshState) {
+			t.Errorf("%s: pooled-fork final state diverged from fresh-fork", cfg.Name)
+		}
+	}
+}
+
+// TestSampledParallelNoGoroutineLeak checks that early-stopped parallel
+// runs wind down completely: spine, workers, and closer all exit even
+// when most planned intervals are cancelled.
+func TestSampledParallelNoGoroutineLeak(t *testing.T) {
+	cfg := parallelCases(1, true)[0]
+	cfg.MeasureInstr = 1_500_000 // 30 planned intervals, ~2 committed
+	wl := traceWorkload("libquantum", cfg)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		runSampledWorkers(t, cfg, wl, "libquantum", 4)
+	}
+	var after int
+	for try := 0; try < 50; try++ {
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d after early-stopped parallel runs", before, after)
+}
+
+// TestSampleWorkersResolution pins the worker-count policy: 0 means
+// GOMAXPROCS, the count is capped by planned intervals, and non-forkable
+// systems (pre-built stream overrides) degrade to one worker.
+func TestSampleWorkersResolution(t *testing.T) {
+	cfg := parallelCases(1, false)[0] // 6 planned intervals
+	wl := traceWorkload("libquantum", cfg)
+
+	_, _, _, work := runSampledWorkers(t, cfg, wl, "libquantum", 0)
+	want := runtime.GOMAXPROCS(0)
+	if want > 6 {
+		want = 6
+	}
+	if work.Workers != want {
+		t.Errorf("SampleWorkers=0 resolved to %d workers, want %d (GOMAXPROCS capped at planned)", work.Workers, want)
+	}
+
+	_, _, _, work = runSampledWorkers(t, cfg, wl, "libquantum", 64)
+	if work.Workers != 6 {
+		t.Errorf("SampleWorkers=64 resolved to %d workers, want planned cap 6", work.Workers)
+	}
+
+	// A Streams override hands the system shared pre-built stream objects;
+	// forks would consume them destructively, so the run must degrade to
+	// one worker (and still complete correctly).
+	gen := workloads.MustGet("libquantum", cfg.Cores)
+	streams := make([]workloads.Stream, len(gen.Specs))
+	for i, spec := range gen.Specs {
+		streams[i] = workloads.NewStream(spec, cfg.AnchorLines(), cfg.Cores, cfg.Seed)
+	}
+	fixed := gen
+	fixed.Streams = streams
+	res, _, _, work := runSampledWorkers(t, cfg, fixed, "libquantum", 4)
+	if work.Workers != 1 {
+		t.Errorf("Streams-override workload resolved to %d workers, want 1", work.Workers)
+	}
+	if res.Sampled == nil || res.Sampled.Intervals == 0 {
+		t.Errorf("degraded run produced no intervals")
+	}
+}

@@ -105,6 +105,17 @@ type Config struct {
 	// Requires DisableAdaptiveBudgets and excludes EpochInstr.
 	Sampling SamplingConfig
 
+	// SampleWorkers bounds how many detailed sampling windows run
+	// concurrently in a sampled run (see DESIGN.md §12): a single spine
+	// goroutine fast-forwards functionally and forks each interval's
+	// detailed re-warm + measured window onto a worker pool. Zero selects
+	// GOMAXPROCS; 1 forces the sequential driver. Results are identical
+	// at every setting by construction — observations, SampleSummary, and
+	// exported metrics are byte-for-byte the same — so this field only
+	// changes wall-clock time and is excluded from memo keys and warm
+	// fingerprints. Ignored for exact (non-sampled) runs.
+	SampleWorkers int
+
 	Seed int64
 }
 
@@ -163,6 +174,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: ways %d must be >= 1", c.Ways)
 	case c.WarmupInstr < 0 || c.MeasureInstr <= 0:
 		return errors.New("sim: instruction budgets invalid")
+	case c.SampleWorkers < 0:
+		return fmt.Errorf("sim: SampleWorkers %d must be >= 0 (0 = GOMAXPROCS)", c.SampleWorkers)
 	}
 	return c.Sampling.validate(c)
 }
@@ -276,6 +289,11 @@ func WeightedSpeedup(target, baseline Result) float64 {
 type System struct {
 	cfg   Config
 	specs []workloads.Spec
+	// wl retains the workload the system was assembled from so parallel
+	// interval sampling can build fork systems (same config, same
+	// workload) for its worker pool. Specs and Source are shared
+	// read-only; per-core stream state is never shared between systems.
+	wl    workloads.Workload
 	cores []*cpu.Core
 	l4    dramcache.Interface
 	hbm   *dram.Device
@@ -298,6 +316,11 @@ type System struct {
 	// sample holds the interval-sampling summary once a sampled run
 	// completes; the sampling.* gauges read it (NaN/absent before).
 	sample *SampleSummary
+	// work records the sampled run's speculative-work and wall-clock
+	// accounting. It is deliberately kept out of Result and the exported
+	// metrics: dispatch/discard counts and timings depend on scheduling,
+	// and sampled outputs must stay byte-identical at every worker count.
+	work SampleWork
 
 	// advanceUntil bookkeeping, reused across the warmup and measure
 	// phases to keep the run loop allocation-free.
@@ -411,7 +434,7 @@ func New(cfg Config, wl workloads.Workload) *System {
 
 	vmsys := vm.NewSystem(frames, vm.AllocRandom, cfg.Seed)
 
-	s := &System{cfg: cfg, specs: wl.Specs, l4: l4, hbm: hbm, pcm: pcm, vmsys: vmsys}
+	s := &System{cfg: cfg, specs: wl.Specs, wl: wl, l4: l4, hbm: hbm, pcm: pcm, vmsys: vmsys}
 	params := cpu.Params{IssueWidth: cfg.IssueWidth, MSHRs: cfg.MSHRs, SRAMLat: cfg.SRAMLat}
 	var hiers []*cache.Hierarchy
 	if cfg.FullHierarchy {

@@ -227,6 +227,37 @@ func (c *Cursor) refill() {
 // Pos returns the number of events the cursor has replayed.
 func (c *Cursor) Pos() int64 { return c.pos }
 
+// Flag bits of the struct-of-arrays event encoding, exposed for batch
+// consumers of Window (the per-event Next unpacks them into Event bools).
+const (
+	FlagWrite uint8 = 1 << 0
+	FlagDep   uint8 = 1 << 1
+)
+
+// Window exposes the cursor's cached replay window without consuming it,
+// refilling (and extending the shared recording) when the window is
+// empty. The three subslices index in lockstep starting at the cursor's
+// current position and are never empty; Consume advances past events the
+// caller has processed. The slices alias the shared chunk storage —
+// callers must treat them as read-only — and stay valid until the next
+// Next, Consume, or Restore call. Together with Consume this is the
+// batch-granular replay path: a consumer can process a whole window with
+// no per-event interface dispatch and commit it in one step.
+func (c *Cursor) Window() (gaps []int32, lines []memtypes.LineAddr, flags []uint8) {
+	if c.idx >= len(c.gaps) {
+		c.refill()
+	}
+	i := c.idx
+	return c.gaps[i:], c.lines[i:], c.flags[i:]
+}
+
+// Consume advances the cursor past the first n events of the last Window.
+// n must not exceed that window's length; the cursor does not check.
+func (c *Cursor) Consume(n int) {
+	c.idx += n
+	c.pos += int64(n)
+}
+
 // Snapshot implements Checkpointer. The encoding is byte-identical to the
 // underlying generator's snapshot at the same position, so warm-state
 // checkpoints written by replay-backed runs restore into generator-backed

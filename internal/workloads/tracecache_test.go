@@ -56,6 +56,61 @@ func TestCursorMatchesGenerator(t *testing.T) {
 	}
 }
 
+// TestCursorWindowMatchesNext pins the batch replay path: consuming a
+// cursor through Window/Consume — in chunks of every awkward size, while
+// a recording is still growing and on full replay — yields exactly the
+// event sequence Next does, with flags encoding Write/Dep per the
+// exported bits.
+func TestCursorWindowMatchesNext(t *testing.T) {
+	const n = chunkEvents + 999 // cross a chunk boundary
+	tc := NewTraceCache(0)
+	spec := MustGet("milc", 1).Specs[0]
+	for round, label := range []string{"recording", "replaying"} {
+		batch := tc.Stream(spec, 1<<16, 1, 7)
+		ref := NewStream(spec, 1<<16, 1, 7)
+		var want Event
+		consumed, take := 0, 1
+		for consumed < n {
+			gaps, lines, flags := batch.Window()
+			if len(gaps) == 0 || len(gaps) != len(lines) || len(gaps) != len(flags) {
+				t.Fatalf("%s: malformed window: %d/%d/%d", label, len(gaps), len(lines), len(flags))
+			}
+			k := min(take, len(gaps))
+			for i := 0; i < k; i++ {
+				ref.Next(&want)
+				if gaps[i] != want.Gap || lines[i] != want.Line {
+					t.Fatalf("%s: event %d: window (gap %d, line %#x) != generator (gap %d, line %#x)",
+						label, consumed+i, gaps[i], uint64(lines[i]), want.Gap, uint64(want.Line))
+				}
+				if got := flags[i]&FlagWrite != 0; got != want.Write {
+					t.Fatalf("%s: event %d: write flag %v != %v", label, consumed+i, got, want.Write)
+				}
+				if got := flags[i]&FlagDep != 0; got != want.Dep {
+					t.Fatalf("%s: event %d: dep flag %v != %v", label, consumed+i, got, want.Dep)
+				}
+			}
+			batch.Consume(k)
+			consumed += k
+			take = take*3 + 1
+			if take > 5000 {
+				take = 1
+			}
+		}
+		if batch.Pos() != int64(consumed) {
+			t.Fatalf("%s: Pos() = %d after consuming %d", label, batch.Pos(), consumed)
+		}
+		// Window must not consume: interleaving Next afterwards continues
+		// exactly where Consume left off.
+		var got Event
+		ref.Next(&want)
+		batch.Next(&got)
+		if want != got {
+			t.Fatalf("%s: Next after Window/Consume diverged: %+v != %+v", label, got, want)
+		}
+		_ = round
+	}
+}
+
 // TestCursorSnapshotMatchesGenerator locks the checkpoint-interchange
 // contract: at any position — mid-chunk, at a chunk boundary, at the
 // recording frontier, and beyond it — a cursor snapshot is byte-for-byte
