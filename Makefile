@@ -9,7 +9,7 @@ GO ?= go
 # committed trajectory file CI compares fresh runs against.
 BENCH_PATTERN ?= BenchmarkFig|BenchmarkTab|BenchmarkLRU|BenchmarkAbl|BenchmarkCkpt|BenchmarkTraceSession|BenchmarkFunctionalStep|BenchmarkSampledRun|BenchmarkSampledParallel
 BENCH_COUNT   ?= 3
-BENCH_JSON    ?= BENCH_PR8.json
+BENCH_JSON    ?= BENCH_PR9.json
 # Packages holding trajectory benchmarks: the paper-artifact suite at the
 # repo root plus the sampling benchmarks next to the sampling driver.
 BENCH_PKGS    ?= . ./internal/sim

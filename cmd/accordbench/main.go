@@ -63,10 +63,20 @@ func main() {
 		traceCache = flag.Bool("trace-cache", true, "share one recording of each workload stream across every design point instead of re-generating it per run")
 		traceMB    = flag.Int64("trace-cache-mb", 0, "trace cache byte budget in MiB (0 = default)")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		engine     = flag.String("engine", "specialized", "detailed timing engine: 'specialized' (backend-monomorphized dispatch) or 'generic' (interface-dispatch fallback); results are byte-identical, this only trades speed for a cross-check")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	switch *engine {
+	case "specialized":
+	case "generic":
+		sim.UseGenericEngine(true)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -engine %q (want specialized or generic)\n", *engine)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range exp.All() {

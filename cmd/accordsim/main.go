@@ -46,9 +46,19 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: restore the warmup/measure boundary when a matching checkpoint exists, populate it otherwise (ignored with -trace)")
 		traceCache = flag.Bool("trace-cache", true, "record each workload stream once and replay it, sharing the recording with the -baseline run (ignored with -trace)")
 		ckptSchema = flag.Bool("ckpt-schema", false, "print the checkpoint schema ID (for cache keys) and exit")
+		engine     = flag.String("engine", "specialized", "detailed timing engine: 'specialized' (backend-monomorphized dispatch) or 'generic' (interface-dispatch fallback); results are byte-identical, this only trades speed for a cross-check")
 		list       = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
+
+	switch *engine {
+	case "specialized":
+	case "generic":
+		sim.UseGenericEngine(true)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -engine %q (want specialized or generic)\n", *engine)
+		os.Exit(2)
+	}
 
 	if *ckptSchema {
 		fmt.Println(sim.SnapshotSchemaID())

@@ -11,7 +11,10 @@
 // documents where its numbers came from.
 //
 // Compare mode matches benchmarks by name between an old (baseline) and
-// new file, prints a per-benchmark delta table, and gates on the
+// new file, prints a per-benchmark delta table — rows individually past
+// the warning threshold are highlighted, and baseline benchmarks absent
+// from the new capture are listed as missing (with a ::warning::, since
+// a vanished benchmark silently shrinks the gate) — and gates on the
 // geometric mean of the new/old time ratios: above -warn it emits a
 // GitHub Actions ::warning:: annotation, above -fail it exits nonzero.
 // The two thresholds exist because wall-time benchmarks on shared CI
@@ -188,7 +191,7 @@ func load(path string) (File, error) {
 	return f, json.Unmarshal(data, &f)
 }
 
-func compare(oldPath, newPath string, warn, fail float64) (int, error) {
+func compare(w io.Writer, oldPath, newPath string, warn, fail float64) (int, error) {
 	oldF, err := load(oldPath)
 	if err != nil {
 		return 2, err
@@ -202,30 +205,62 @@ func compare(oldPath, newPath string, warn, fail float64) (int, error) {
 		oldBy[b.Name] = b
 	}
 	var ratios []float64
-	fmt.Printf("%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	var worst Benchmark
+	worstRatio := 0.0
+	seen := map[string]bool{}
+	fmt.Fprintf(w, "%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	for _, nb := range newF.Benchmarks {
 		ob, ok := oldBy[nb.Name]
 		if !ok || ob.NsPerOp == 0 {
-			fmt.Printf("%-34s %14s %14.0f %8s\n", nb.Name, "-", nb.NsPerOp, "new")
+			fmt.Fprintf(w, "%-34s %14s %14.0f %8s\n", nb.Name, "-", nb.NsPerOp, "new")
 			continue
 		}
+		seen[nb.Name] = true
 		r := nb.NsPerOp / ob.NsPerOp
 		ratios = append(ratios, r)
-		fmt.Printf("%-34s %14.0f %14.0f %7.3fx\n", nb.Name, ob.NsPerOp, nb.NsPerOp, r)
+		// Per-benchmark highlight: the geomean gate below can hide one
+		// bad benchmark among many flat ones, so anything individually
+		// past the warning threshold is flagged on its own row.
+		mark := ""
+		if r > warn {
+			mark = "  << regressed"
+			if r > worstRatio {
+				worstRatio, worst = r, nb
+			}
+		}
+		fmt.Fprintf(w, "%-34s %14.0f %14.0f %7.3fx%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, r, mark)
+	}
+	// Baseline benchmarks with no counterpart in the new capture would
+	// otherwise silently shrink the gate — a deleted (or renamed, or
+	// accidentally filtered-out) benchmark is invisible to a ratio over
+	// common names only.
+	var missing []string
+	for _, ob := range oldF.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-34s %14.0f %14s %8s\n", ob.Name, ob.NsPerOp, "-", "missing")
+			missing = append(missing, ob.Name)
+		}
 	}
 	if len(ratios) == 0 {
 		return 2, fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
 	}
 	g := geomean(ratios)
-	fmt.Printf("\ngeomean ratio (new/old, %d benchmarks): %.3fx  [baseline %s -> %s]\n",
+	fmt.Fprintf(w, "\ngeomean ratio (new/old, %d benchmarks): %.3fx  [baseline %s -> %s]\n",
 		len(ratios), g, oldF.Manifest.Git, newF.Manifest.Git)
+	if worstRatio > 0 {
+		fmt.Fprintf(w, "worst regression: %s at %.3fx\n", worst.Name, worstRatio)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(w, "::warning::%d baseline benchmark(s) missing from new capture: %s\n",
+			len(missing), strings.Join(missing, ", "))
+	}
 	switch {
 	case g > fail:
-		fmt.Printf("::error::benchmark geomean regressed %.1f%% (> %.0f%% failure threshold)\n",
+		fmt.Fprintf(w, "::error::benchmark geomean regressed %.1f%% (> %.0f%% failure threshold)\n",
 			(g-1)*100, (fail-1)*100)
 		return 1, nil
 	case g > warn:
-		fmt.Printf("::warning::benchmark geomean regressed %.1f%% (> %.0f%% warning threshold)\n",
+		fmt.Fprintf(w, "::warning::benchmark geomean regressed %.1f%% (> %.0f%% warning threshold)\n",
 			(g-1)*100, (warn-1)*100)
 	}
 	return 0, nil
@@ -246,7 +281,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
 			os.Exit(2)
 		}
-		code, err := compare(flag.Arg(0), flag.Arg(1), *warnAt, *failAt)
+		code, err := compare(os.Stdout, flag.Arg(0), flag.Arg(1), *warnAt, *failAt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		}

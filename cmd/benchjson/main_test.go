@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name string, f File) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseMedians(t *testing.T) {
+	in := strings.NewReader(`
+goos: linux
+BenchmarkFoo-8   	      10	 100.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkFoo-8   	      10	 300.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkFoo-8   	      10	 200.0 ns/op	      16 B/op	       2 allocs/op
+BenchmarkBar     	       5	  50.0 ns/op
+PASS
+`)
+	got, err := parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	if got[0].Name != "BenchmarkFoo" || got[0].Runs != 3 || got[0].NsPerOp != 200 {
+		t.Errorf("BenchmarkFoo reduced to %+v, want median 200 over 3 runs", got[0])
+	}
+	if got[0].AllocsPerOp != 2 || got[0].BytesPerOp != 16 {
+		t.Errorf("BenchmarkFoo allocs/bytes = %v/%v, want 2/16", got[0].AllocsPerOp, got[0].BytesPerOp)
+	}
+	if got[1].Name != "BenchmarkBar" || got[1].NsPerOp != 50 {
+		t.Errorf("BenchmarkBar reduced to %+v", got[1])
+	}
+}
+
+// TestCompareReporting pins the compare-mode contract the CI trajectory
+// job relies on: per-benchmark regression highlighting, missing-baseline
+// reporting with a ::warning:: annotation, and the geomean exit-code
+// gate.
+func TestCompareReporting(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeFile(t, dir, "old.json", File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFlat", NsPerOp: 1000},
+		{Name: "BenchmarkSlow", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 1000},
+	}})
+	newP := writeFile(t, dir, "new.json", File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFlat", NsPerOp: 1000},
+		{Name: "BenchmarkSlow", NsPerOp: 1500},
+		{Name: "BenchmarkNew", NsPerOp: 42},
+	}})
+
+	var out bytes.Buffer
+	code, err := compare(&out, oldP, newP, 1.15, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (geomean under failure threshold)", code)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BenchmarkSlow",
+		"<< regressed",
+		"worst regression: BenchmarkSlow at 1.500x",
+		"BenchmarkGone",
+		"missing",
+		"::warning::1 baseline benchmark(s) missing from new capture: BenchmarkGone",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(strings.Split(text, "BenchmarkSlow")[0]+"x", "BenchmarkFlat  << regressed") {
+		t.Errorf("flat benchmark wrongly highlighted:\n%s", text)
+	}
+
+	// Geomean over {1.0, 1.5} is ~1.22; a 1.2 failure threshold must trip
+	// the nonzero exit.
+	out.Reset()
+	code, err = compare(&out, oldP, newP, 1.05, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 above failure threshold", code)
+	}
+	if !strings.Contains(out.String(), "::error::") {
+		t.Errorf("failure path did not annotate:\n%s", out.String())
+	}
+}

@@ -1,0 +1,75 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAdmitMaskMatchesScan drives the production scan admit and the
+// free-mask alternate discipline (admitMask/mshrSetMask) over randomized
+// miss streams and requires them to agree event by event — same slot,
+// same clock (including stall advances), same stall count. This is the
+// contract that lets admit stay the simple scan while the mask remains
+// available as the anchor it was measured against (see the comments on
+// both and DESIGN.md §13).
+func TestAdmitMaskMatchesScan(t *testing.T) {
+	for _, mshrs := range []int{1, 2, 12, 64} {
+		rng := rand.New(rand.NewSource(int64(0xACC0 + mshrs)))
+		p := Params{IssueWidth: 1, MSHRs: mshrs, SRAMLat: 1}
+		scan := New(0, p, nil, nil, nil)
+		mask := New(1, p, nil, nil, nil)
+		for op := 0; op < 20000; op++ {
+			// Advance both clocks identically; bursts of zero-delta ops
+			// exercise the all-busy stall path, larger jumps the mass-free
+			// resweep path.
+			dt := int64(0)
+			switch rng.Intn(4) {
+			case 1:
+				dt = rng.Int63n(8)
+			case 2:
+				dt = rng.Int63n(400)
+			}
+			scan.time += dt
+			mask.time += dt
+
+			s1 := scan.admit()
+			s2 := mask.admitMask()
+			if s1 != s2 {
+				t.Fatalf("mshrs=%d op %d: slot diverged: scan %d, mask %d", mshrs, op, s1, s2)
+			}
+			if scan.time != mask.time {
+				t.Fatalf("mshrs=%d op %d: stall clock diverged: scan %d, mask %d", mshrs, op, scan.time, mask.time)
+			}
+
+			// Miss completion; occasionally at or before the current time
+			// (the dependent-load pattern, where the clock already jumped
+			// to the data), usually in the future.
+			done := scan.time + rng.Int63n(300)
+			if rng.Intn(8) == 0 {
+				done = scan.time - rng.Int63n(50)
+			}
+			scan.mshr[s1] = done
+			mask.mshrSetMask(s2, done)
+
+			// Dependent load: the clock jumps to the miss completion.
+			if done > scan.time && rng.Intn(3) == 0 {
+				scan.time = done
+				mask.time = done
+			}
+
+			// Occasional bulk reset, as ResetSampleTiming and Restore
+			// perform: both disciplines must re-converge from a cleared
+			// array, the mask via invalidateMSHRCache.
+			if rng.Intn(4000) == 0 {
+				for i := range scan.mshr {
+					scan.mshr[i] = 0
+					mask.mshr[i] = 0
+				}
+				mask.invalidateMSHRCache()
+			}
+		}
+		if scan.mshrStalls != mask.mshrStalls {
+			t.Fatalf("mshrs=%d: stall count diverged: scan %d, mask %d", mshrs, scan.mshrStalls, mask.mshrStalls)
+		}
+	}
+}

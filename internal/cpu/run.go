@@ -1,0 +1,124 @@
+package cpu
+
+import (
+	"accord/internal/memtypes"
+	"accord/internal/workloads"
+)
+
+// StepRun advances the core through consecutive detailed events until its
+// retired instruction count reaches target (returns true) or its clock
+// passes the stop condition — time > stopTime, or time == stopTime with
+// stopOnTie set (returns false). It is behavior-identical to the caller
+// loop
+//
+//	for {
+//		c.Step()
+//		if c.Instructions() >= target { return true }
+//		if t := c.Time(); t > stopTime || (t == stopTime && stopOnTie) { return false }
+//	}
+//
+// executing the same events against the same memory system in the same
+// order with the same clocks; only the per-event overhead moves. When the
+// stream exposes a batch window (the shared trace cache), events are
+// decoded straight from the window's parallel slices with the core's hot
+// state in locals, eliminating the per-event Next dispatch, event-buffer
+// writes, and field traffic; otherwise it falls back to per-event Step.
+// The leader loop in sim.advanceUntil calls this on the leading core
+// whenever no epoch-series or finished-core pacing work can interleave
+// (see that loop for why those cases must stay per-event).
+func (c *Core) StepRun(target, stopTime int64, stopOnTie bool) bool {
+	if c.wstream == nil {
+		for {
+			c.Step()
+			if c.instr >= target {
+				return true
+			}
+			if c.time > stopTime || (c.time == stopTime && stopOnTie) {
+				return false
+			}
+		}
+	}
+	for {
+		gaps, lines, flags := c.wstream.Window()
+		if len(gaps) == 0 {
+			// Defensive: an exhausted bounded window stream cannot make
+			// progress; fall back so the caller's loop terminates or
+			// panics the same way the per-event path would.
+			c.Step()
+			if c.instr >= target {
+				return true
+			}
+			if c.time > stopTime || (c.time == stopTime && stopOnTie) {
+				return false
+			}
+			continue
+		}
+		// Reslice the parallel windows to the gaps length so the compiler
+		// can prove every per-event index below is in bounds.
+		lines = lines[:len(gaps)]
+		flags = flags[:len(gaps)]
+
+		// Hot scalars live in locals for the whole window; c.time is
+		// synced around admit/mshrSet, which read (and on a stall, write)
+		// the field directly.
+		time, instr, carry := c.time, c.instr, c.instCarry
+		reads, writes, depStalls := c.reads, c.writes, c.depStalls
+		sramLat := c.sramLat
+		used := 0
+		crossed, stopped := false, false
+		for i := range gaps {
+			g := int64(gaps[i])
+			carry += g
+			if c.issueMask >= 0 {
+				time += carry >> c.issueShift
+				carry &= c.issueMask
+			} else {
+				time += carry / c.issueWidth
+				carry %= c.issueWidth
+			}
+
+			vl := lines[i]
+			var line memtypes.LineAddr
+			if vp := vl.Page(); vp == c.memoVPage {
+				line = c.memoPBase + memtypes.LineAddr(vl.PageOffset())
+			} else {
+				line = c.translateLine(vl)
+			}
+
+			if f := flags[i]; f&workloads.FlagWrite != 0 {
+				writes++
+				c.mem.Write(time+sramLat, line)
+			} else {
+				reads++
+				c.time = time
+				slot := c.admit()
+				time = c.time
+				done := c.mem.Read(time+sramLat, line)
+				if f&workloads.FlagDep != 0 {
+					depStalls++
+					time = done
+				}
+				c.mshr[slot] = done
+			}
+			instr += g + 1
+			used = i + 1
+			if instr >= target {
+				crossed = true
+				break
+			}
+			if time > stopTime || (time == stopTime && stopOnTie) {
+				stopped = true
+				break
+			}
+		}
+		c.time, c.instr, c.instCarry = time, instr, carry
+		c.reads, c.writes, c.depStalls = reads, writes, depStalls
+		c.wstream.Consume(used)
+		if crossed {
+			return true
+		}
+		if stopped {
+			return false
+		}
+	}
+}

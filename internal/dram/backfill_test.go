@@ -10,6 +10,16 @@ import (
 // calibration: busy-interval backfill on the data bus, and the
 // read-priority write queue.
 
+// busyIntervals materializes a channel's calendar ring in logical
+// (oldest-first) order for assertions.
+func (ch *channel) busyIntervals() []busyIvl {
+	out := make([]busyIvl, ch.busyCount)
+	for i := range out {
+		out[i] = *ch.ivl(i)
+	}
+	return out
+}
+
 func TestBackfillAllowsEarlierRequests(t *testing.T) {
 	d := New(HBM(), cyclesPerNS)
 	// Reserve the bus far in the future via a read issued at t=10000.
@@ -111,7 +121,7 @@ func TestBusyIntervalBounded(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		d.Access(int64(i)*1000, Loc{Channel: 0, Bank: i % 16, Row: uint64(i)}, memtypes.Read, 64)
 	}
-	if n := len(d.channels[0].busy); n > maxBusyIntervals {
+	if n := int(d.channels[0].busyCount); n > maxBusyIntervals {
 		t.Errorf("busy list grew to %d, cap %d", n, maxBusyIntervals)
 	}
 }
@@ -123,13 +133,13 @@ func TestReserveMergesAdjacent(t *testing.T) {
 	if a != 0 || b != 10 {
 		t.Fatalf("reservations at %d,%d, want 0,10", a, b)
 	}
-	if len(ch.busy) != 1 || ch.busy[0].start != 0 || ch.busy[0].end != 20 {
-		t.Errorf("intervals not merged: %+v", ch.busy)
+	if iv := ch.busyIntervals(); len(iv) != 1 || iv[0].start != 0 || iv[0].end != 20 {
+		t.Errorf("intervals not merged: %+v", iv)
 	}
 	// A later disjoint reservation creates a second interval.
 	c := ch.reserve(100, 5)
-	if c != 100 || len(ch.busy) != 2 {
-		t.Errorf("disjoint reservation wrong: start %d, intervals %+v", c, ch.busy)
+	if iv := ch.busyIntervals(); c != 100 || len(iv) != 2 {
+		t.Errorf("disjoint reservation wrong: start %d, intervals %+v", c, iv)
 	}
 	// Backfill into the gap between them.
 	g := ch.reserve(20, 30)
@@ -151,7 +161,7 @@ func TestReserveFillsExactGap(t *testing.T) {
 	if got := ch.reserve(5, 10); got != 10 {
 		t.Errorf("exact-gap reservation at %d, want 10", got)
 	}
-	if len(ch.busy) != 1 || ch.busy[0] != (busyIvl{0, 30}) {
-		t.Errorf("intervals not fully merged: %+v", ch.busy)
+	if iv := ch.busyIntervals(); len(iv) != 1 || iv[0] != (busyIvl{0, 30}) {
+		t.Errorf("intervals not fully merged: %+v", iv)
 	}
 }

@@ -26,8 +26,12 @@ func (d *Device) Snapshot(e *ckpt.Encoder) {
 	for ci := range d.channels {
 		ch := &d.channels[ci]
 		e.I64(ch.writeBacklog)
-		e.U32(uint32(len(ch.busy)))
-		for _, iv := range ch.busy {
+		// Busy intervals are written in logical (oldest-first) order, so
+		// the encoding is identical regardless of where the ring head
+		// sits — the same bytes the pre-ring sliding-window layout wrote.
+		e.U32(ch.busyCount)
+		for i := 0; i < int(ch.busyCount); i++ {
+			iv := ch.ivl(i)
 			e.I64(iv.start)
 			e.I64(iv.end)
 		}
@@ -43,9 +47,10 @@ func (d *Device) Snapshot(e *ckpt.Encoder) {
 }
 
 // Restore replaces the device's state with a snapshot. Busy intervals are
-// rebuilt into a fresh full-capacity backing buffer; reservation outcomes
-// depend only on the interval contents, not on where the sliding window
-// sat within the old buffer, so this is behaviorally identical.
+// rebuilt into the ring starting at head zero; reservation outcomes
+// depend only on the logical interval sequence, not on where the ring
+// head sat when the snapshot was taken, so this is behaviorally
+// identical.
 func (d *Device) Restore(dec *ckpt.Decoder) error {
 	if v := dec.U8(); dec.Err() == nil && v != deviceVersion {
 		dec.Failf("dram: snapshot version %d, want %d", v, deviceVersion)
@@ -73,14 +78,15 @@ func (d *Device) Restore(dec *ckpt.Decoder) error {
 	for ci := range d.channels {
 		ch := &d.channels[ci]
 		ch.writeBacklog = dec.I64()
-		// The live window holds at most maxBusyIntervals entries between
-		// accesses (appendBusy trims before returning).
+		// The live ring holds at most maxBusyIntervals entries between
+		// accesses (reserve trims before returning).
 		n := dec.Len(maxBusyIntervals)
 		if err := dec.Err(); err != nil {
 			return err
 		}
-		ch.busyBuf = make([]busyIvl, busyBufCap)
-		ch.busy = ch.busyBuf[:n]
+		ch.busyHead = 0
+		ch.busyCount = uint32(n)
+		ch.busyLast = 0
 		prevEnd := int64(-1 << 62)
 		for i := 0; i < n; i++ {
 			iv := busyIvl{start: dec.I64(), end: dec.I64()}
@@ -90,8 +96,11 @@ func (d *Device) Restore(dec *ckpt.Decoder) error {
 			if err := dec.Err(); err != nil {
 				return err
 			}
-			ch.busy[i] = iv
+			ch.ring[i] = iv
 			prevEnd = iv.end
+		}
+		if n > 0 {
+			ch.busyLast = ch.ring[n-1].end
 		}
 		if bn := dec.U32(); dec.Err() == nil && int(bn) != len(ch.banks) {
 			dec.Failf("dram: snapshot has %d banks, channel has %d", bn, len(ch.banks))

@@ -252,81 +252,89 @@ const maxBusyIntervals = 24
 
 type busyIvl struct{ start, end int64 }
 
-// busyBufCap sizes each channel's reusable busy-interval backing array.
-// The live window slides forward through it as history is dropped, so the
-// compaction copy in appendBusy amortizes to once per ~(busyBufCap -
-// maxBusyIntervals) reservations.
-const busyBufCap = 96
+// busyRingCap sizes each channel's calendar ring: a power of two with
+// headroom above maxBusyIntervals+1 (the deepest transient during a
+// merge-insert), so appending and dropping history are index arithmetic
+// on a fixed inline array — no compaction copies, no slice growth, ever.
+const (
+	busyRingCap  = 32
+	busyRingMask = busyRingCap - 1
+)
 
 type channel struct {
-	// busy holds the channel data bus's scheduled transfer windows,
-	// sorted and non-overlapping. Keeping intervals instead of a single
-	// next-free scalar lets a transfer scheduled in the near future (a
-	// dependent second probe, a fill) coexist with earlier idle time:
-	// requests backfill gaps instead of queueing behind reservations that
-	// have not happened yet. busy is a sliding window into busyBuf;
-	// dropping the oldest interval is a reslice, not a copy.
-	busy         []busyIvl
-	busyBuf      []busyIvl
+	// The data bus's scheduled transfer windows — sorted, non-overlapping
+	// — live in a calendar ring: `ring` holds busyCount intervals starting
+	// at logical index 0 == physical busyHead&mask. Keeping intervals
+	// instead of a single next-free scalar lets a transfer scheduled in
+	// the near future (a dependent second probe, a fill) coexist with
+	// earlier idle time: requests backfill gaps instead of queueing behind
+	// reservations that have not happened yet. Appending a new interval
+	// and dropping the oldest are both O(1) ring-index updates; only the
+	// rare mid-ring merge-insert of a backfill shifts entries. busyLast
+	// caches the end of the newest interval (0 when empty) so the
+	// append fast path and drainWrites never touch the ring at all.
+	busyHead     uint32
+	busyCount    uint32
+	busyLast     int64
 	writeBacklog int64 // queued write-drain cycles
+	ring         [busyRingCap]busyIvl
 	banks        []bank
 }
 
-// appendBusy appends iv to the busy window, sliding the window back to
-// the start of the reusable backing array when it reaches the end. The
-// window never exceeds maxBusyIntervals+1 entries, so compaction always
-// leaves room.
-func (ch *channel) appendBusy(iv busyIvl) {
-	if len(ch.busy) == cap(ch.busy) {
-		if ch.busyBuf == nil {
-			ch.busyBuf = make([]busyIvl, busyBufCap)
-		}
-		n := copy(ch.busyBuf, ch.busy)
-		ch.busy = ch.busyBuf[:n]
-	}
-	ch.busy = append(ch.busy, iv)
+// ivl returns the interval at logical index i (0 = oldest retained).
+func (ch *channel) ivl(i int) *busyIvl {
+	return &ch.ring[(ch.busyHead+uint32(i))&busyRingMask]
 }
 
 // lastEnd returns the end of the latest scheduled transfer.
-func (ch *channel) lastEnd() int64 {
-	if len(ch.busy) == 0 {
-		return 0
-	}
-	return ch.busy[len(ch.busy)-1].end
-}
+func (ch *channel) lastEnd() int64 { return ch.busyLast }
 
 // reserve finds the earliest start >= from where the bus is free for dur
 // cycles, books it, and returns it.
+//
+// The fast path — the request starts at or after every scheduled
+// transfer, which is the common case when the bus is busy and time moves
+// forward — extends the newest interval or appends a new one in O(1)
+// against the cached busyLast, keeping reserve small enough to inline
+// into Access and drainWrites. Everything else (backfill into an earlier
+// gap) goes to reserveSlow.
 func (ch *channel) reserve(from, dur int64) int64 {
-	// Fast path: the request starts at or after every scheduled transfer,
-	// which is the common case when the bus is busy and time moves
-	// forward. Append (or extend the final interval) without scanning.
-	if n := len(ch.busy); n > 0 && from >= ch.busy[n-1].end {
-		if from == ch.busy[n-1].end {
-			ch.busy[n-1].end = from + dur
+	if from >= ch.busyLast {
+		n := ch.busyCount
+		if n != 0 && from == ch.busyLast {
+			ch.ring[(ch.busyHead+n-1)&busyRingMask].end = from + dur
 		} else {
-			ch.appendBusy(busyIvl{start: from, end: from + dur})
-			if len(ch.busy) > maxBusyIntervals {
-				// Drop the oldest interval by sliding the window — a
-				// reslice, not a copy.
-				ch.busy = ch.busy[1:]
+			ch.ring[(ch.busyHead+n)&busyRingMask] = busyIvl{start: from, end: from + dur}
+			if n >= maxBusyIntervals {
+				// Drop the oldest interval: a head increment, no copy.
+				ch.busyHead++
+			} else {
+				ch.busyCount = n + 1
 			}
 		}
+		ch.busyLast = from + dur
 		return from
 	}
+	return ch.reserveSlow(from, dur)
+}
+
+// reserveSlow backfills a reservation that starts before the newest
+// scheduled transfer, merging it into the retained interval history.
+func (ch *channel) reserveSlow(from, dur int64) int64 {
 	// Intervals whose end is <= from can never constrain this request;
 	// the forward walk below would skip them one by one. Seek the first
 	// relevant interval from the END instead: requests land near the
 	// present, so this backward seek is a step or two while a forward
 	// skip would traverse the whole retained history.
-	p := len(ch.busy)
-	for p > 0 && ch.busy[p-1].end > from {
+	n := int(ch.busyCount)
+	p := n
+	for p > 0 && ch.ivl(p-1).end > from {
 		p--
 	}
 	t := from
 	idx := p
-	for i := p; i < len(ch.busy); i++ {
-		iv := ch.busy[i]
+	for i := p; i < n; i++ {
+		iv := *ch.ivl(i)
 		if iv.end <= t {
 			idx = i + 1
 			continue
@@ -338,24 +346,37 @@ func (ch *channel) reserve(from, dur int64) int64 {
 		t = iv.end
 		idx = i + 1
 	}
-	// Insert [t, t+dur) at idx, merging with touching neighbours.
+	// Insert [t, t+dur) at idx, merging with touching neighbours. The
+	// shifts move at most maxBusyIntervals entries and only run on this
+	// already-rare path.
 	nb := busyIvl{start: t, end: t + dur}
-	if idx > 0 && ch.busy[idx-1].end == nb.start {
-		ch.busy[idx-1].end = nb.end
-		if idx < len(ch.busy) && ch.busy[idx].start == nb.end {
-			ch.busy[idx-1].end = ch.busy[idx].end
-			ch.busy = append(ch.busy[:idx], ch.busy[idx+1:]...)
+	if idx > 0 && ch.ivl(idx-1).end == nb.start {
+		ch.ivl(idx-1).end = nb.end
+		if idx < n && ch.ivl(idx).start == nb.end {
+			ch.ivl(idx-1).end = ch.ivl(idx).end
+			for j := idx; j < n-1; j++ {
+				*ch.ivl(j) = *ch.ivl(j + 1)
+			}
+			ch.busyCount--
 		}
-	} else if idx < len(ch.busy) && ch.busy[idx].start == nb.end {
-		ch.busy[idx].start = nb.start
+	} else if idx < n && ch.ivl(idx).start == nb.end {
+		ch.ivl(idx).start = nb.start
 	} else {
-		ch.appendBusy(busyIvl{})
-		copy(ch.busy[idx+1:], ch.busy[idx:])
-		ch.busy[idx] = nb
+		for j := n; j > idx; j-- {
+			*ch.ivl(j) = *ch.ivl(j - 1)
+		}
+		*ch.ivl(idx) = nb
+		ch.busyCount++
+		if ch.busyCount > maxBusyIntervals {
+			// Drop the oldest interval (which may be the one just
+			// inserted, when the whole retained history is later than it
+			// — the reservation at t stands either way, exactly as the
+			// previous sliding-window implementation behaved).
+			ch.busyHead++
+			ch.busyCount--
+		}
 	}
-	if len(ch.busy) > maxBusyIntervals {
-		ch.busy = ch.busy[1:]
-	}
+	ch.busyLast = ch.ivl(int(ch.busyCount) - 1).end
 	return t
 }
 
@@ -473,15 +494,16 @@ func (s *Stats) Add(o Stats) {
 // state — rows closed, banks immediately ready, data buses idle, write
 // backlogs drained — without touching the statistics. A device after
 // ResetTiming is behaviorally indistinguishable from a freshly
-// constructed one (the retained busyBuf backing array only changes when
-// an allocation happens, never a scheduling decision). Interval
-// sampling calls it at each detailed-window boundary so in-place and
-// fork-restored measured windows start from the same canonical device
-// state.
+// constructed one (stale ring entries past busyCount are never read).
+// Interval sampling calls it at each detailed-window boundary so
+// in-place and fork-restored measured windows start from the same
+// canonical device state.
 func (d *Device) ResetTiming() {
 	for i := range d.channels {
 		ch := &d.channels[i]
-		ch.busy = nil
+		ch.busyHead = 0
+		ch.busyCount = 0
+		ch.busyLast = 0
 		ch.writeBacklog = 0
 		for j := range ch.banks {
 			ch.banks[j] = bank{}
@@ -647,8 +669,11 @@ func (d *Device) Access(at int64, loc Loc, kind memtypes.Kind, bytes int) Result
 // drainWrites retires backlogged writes into the bus idle time before
 // `until`, consuming real bus occupancy for what it drains.
 func (d *Device) drainWrites(ch *channel, until int64) {
+	if ch.writeBacklog == 0 {
+		return
+	}
 	idle := until - ch.lastEnd()
-	if idle <= 0 || ch.writeBacklog == 0 {
+	if idle <= 0 {
 		return
 	}
 	drained := min(ch.writeBacklog, idle)

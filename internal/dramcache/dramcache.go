@@ -14,6 +14,7 @@ package dramcache
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"accord/internal/ckpt"
 	"accord/internal/core"
@@ -174,9 +175,15 @@ type LatencySum struct {
 func (l *LatencySum) add(cycles int64) {
 	l.Count++
 	l.Sum += cycles
+	// floor(log2(cycles)) via bits.Len64, clamped to the last bucket —
+	// same bucket the shift loop this replaces produced for every input
+	// (cycles <= 1, including non-positive, lands in bucket 0).
 	b := 0
-	for c := cycles; c > 1 && b < len(l.Buckets)-1; c >>= 1 {
-		b++
+	if cycles > 1 {
+		b = bits.Len64(uint64(cycles)) - 1
+		if b > len(l.Buckets)-1 {
+			b = len(l.Buckets) - 1
+		}
 	}
 	l.Buckets[b]++
 }

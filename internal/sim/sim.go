@@ -459,7 +459,7 @@ func New(cfg Config, wl workloads.Workload) *System {
 			stream = workloads.NewStream(wl.Specs[i], anchor, cfg.Cores, workloads.StreamSeed(cfg.Seed, i))
 		}
 		space := vmsys.NewSpace()
-		var mem cpu.MemorySystem = memAdapter{l4: l4}
+		mem := newMemAdapter(l4)
 		if cfg.FullHierarchy {
 			mem = hierAdapter{h: hiers[i], l4: l4}
 		}
@@ -676,6 +676,23 @@ func (s *System) advanceUntil(targets []int64) []finishPoint {
 			}
 		}
 		c := s.cores[min]
+		if s.series == nil && doneCount == 0 {
+			// Fast path: no epoch series to tick and no finished-core
+			// pacing to interleave, so the inner loop below degenerates
+			// to "step the leader until it crosses its target or its
+			// clock passes the runner-up's". StepRun executes exactly
+			// that — same events, same clocks, same stop condition
+			// (ties yield to the lower index, hence stopOnTie when the
+			// leader's index is higher) — but consumes whole stream
+			// windows per call instead of singleton events.
+			if c.StepRun(targets[min], secTime, min > sec) {
+				done[min] = true
+				doneCount++
+				finish[min] = finishPoint{cycles: c.WindowCycles(), instr: c.WindowInstructions()}
+				remaining--
+			}
+			continue
+		}
 		for {
 			c.Step()
 			if s.series != nil {
