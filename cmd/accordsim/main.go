@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"accord/internal/ckpt"
 	"accord/internal/energy"
@@ -43,6 +44,8 @@ func main() {
 		sample     = flag.Int64("sample", 0, "interval-sampling period in instructions per core (0 = exact detailed run); each period is mostly functional fast-forward with a short detailed measured window, and results carry Student-t confidence intervals")
 		ci         = flag.Float64("ci", 0.05, "with -sample: stop early once the IPC estimate's relative CI half-width reaches this (0 = run every planned interval)")
 		sampleWkrs = flag.Int("sample-workers", 0, "with -sample: worker goroutines running detailed windows off the functional spine (0 = GOMAXPROCS, 1 = sequential; results are identical at any setting)")
+		spineDir   = flag.String("spine-ckpt-dir", "", "with -sample: spine checkpoint lattice directory — boundary snapshots are saved there on cold runs and restored instead of re-simulated on later runs with the same configuration and interval geometry (results are byte-identical either way)")
+		spineStr   = flag.Int("spine-stride", 0, "with -spine-ckpt-dir: save every Nth interval boundary (0 = automatic from snapshot size, targeting ~128 KiB per period)")
 		ckptDir    = flag.String("checkpoint-dir", "", "warm-state checkpoint store: restore the warmup/measure boundary when a matching checkpoint exists, populate it otherwise (ignored with -trace)")
 		traceCache = flag.Bool("trace-cache", true, "record each workload stream once and replay it, sharing the recording with the -baseline run (ignored with -trace)")
 		ckptSchema = flag.Bool("ckpt-schema", false, "print the checkpoint schema ID (for cache keys) and exit")
@@ -94,6 +97,8 @@ func main() {
 		sc.TargetCI = *ci
 		cfg.Sampling = sc
 		cfg.SampleWorkers = *sampleWkrs
+		cfg.SpineCheckpointDir = *spineDir
+		cfg.SpineStride = *spineStr
 		cfg.DisableAdaptiveBudgets = true
 	} else {
 		cfg.EpochInstr = epochInstr(*epoch, *metricsOut != "", cfg)
@@ -129,9 +134,19 @@ func main() {
 	}
 
 	man := metrics.NewManifest("accordsim", flagConfig(), cfg.Seed)
-	res, restored := sim.RunWithStore(cfg, wl, store, wl.Name)
-	if restored {
+	res, info := sim.RunWithStoreInfo(cfg, wl, store, wl.Name)
+	if info.Restored {
 		fmt.Fprintf(os.Stderr, "accordsim: restored warm state from %s\n", *ckptDir)
+	}
+	if res.Sampled != nil {
+		w := info.Work
+		man.SampleWork = w.ManifestEntry()
+		fmt.Fprintf(os.Stderr, "accordsim: sampled workers=%d dispatched=%d committed=%d discarded=%d spine=%s detail=%s\n",
+			w.Workers, w.Dispatched, w.Committed, w.Discarded, w.SpineTime.Round(time.Millisecond), w.DetailTime.Round(time.Millisecond))
+		if *spineDir != "" {
+			fmt.Fprintf(os.Stderr, "accordsim: spine lattice %s: hits=%d misses=%d save=%s\n",
+				*spineDir, w.LatticeHits, w.LatticeMisses, w.SpineSaveTime.Round(time.Millisecond))
+		}
 	}
 	if *metricsOut != "" {
 		ex := &metrics.Export{
@@ -169,6 +184,9 @@ func main() {
 		base.WarmupInstr, base.MeasureInstr, base.Seed = cfg.WarmupInstr, cfg.MeasureInstr, cfg.Seed
 		base.DisableAdaptiveBudgets = cfg.DisableAdaptiveBudgets
 		base.Sampling = cfg.Sampling
+		base.SampleWorkers = cfg.SampleWorkers
+		base.SpineCheckpointDir = cfg.SpineCheckpointDir
+		base.SpineStride = cfg.SpineStride
 		if *trace != "" {
 			// Trace streams are stateful; the baseline needs a fresh replay.
 			wl, err2 = loadTrace(*trace, cfg.Cores)

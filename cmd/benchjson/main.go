@@ -191,7 +191,7 @@ func load(path string) (File, error) {
 	return f, json.Unmarshal(data, &f)
 }
 
-func compare(w io.Writer, oldPath, newPath string, warn, fail float64) (int, error) {
+func compare(w io.Writer, oldPath, newPath string, warn, fail float64, strict bool) (int, error) {
 	oldF, err := load(oldPath)
 	if err != nil {
 		return 2, err
@@ -251,8 +251,12 @@ func compare(w io.Writer, oldPath, newPath string, warn, fail float64) (int, err
 		fmt.Fprintf(w, "worst regression: %s at %.3fx\n", worst.Name, worstRatio)
 	}
 	if len(missing) > 0 {
-		fmt.Fprintf(w, "::warning::%d baseline benchmark(s) missing from new capture: %s\n",
-			len(missing), strings.Join(missing, ", "))
+		level := "warning"
+		if strict {
+			level = "error"
+		}
+		fmt.Fprintf(w, "::%s::%d baseline benchmark(s) missing from new capture: %s\n",
+			level, len(missing), strings.Join(missing, ", "))
 	}
 	switch {
 	case g > fail:
@@ -262,6 +266,9 @@ func compare(w io.Writer, oldPath, newPath string, warn, fail float64) (int, err
 	case g > warn:
 		fmt.Fprintf(w, "::warning::benchmark geomean regressed %.1f%% (> %.0f%% warning threshold)\n",
 			(g-1)*100, (warn-1)*100)
+	}
+	if strict && len(missing) > 0 {
+		return 1, nil
 	}
 	return 0, nil
 }
@@ -273,6 +280,7 @@ func main() {
 		cmp    = flag.Bool("compare", false, "compare mode: args are <old.json> <new.json>")
 		warnAt = flag.Float64("warn", 1.15, "compare mode: warn when geomean ratio exceeds this")
 		failAt = flag.Float64("fail", 1.30, "compare mode: exit nonzero when geomean ratio exceeds this")
+		strict = flag.Bool("strict", false, "compare mode: exit nonzero when baseline benchmarks are missing from the new capture (instead of only warning)")
 	)
 	flag.Parse()
 
@@ -281,7 +289,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json")
 			os.Exit(2)
 		}
-		code, err := compare(os.Stdout, flag.Arg(0), flag.Arg(1), *warnAt, *failAt)
+		code, err := compare(os.Stdout, flag.Arg(0), flag.Arg(1), *warnAt, *failAt, *strict)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		}

@@ -67,7 +67,7 @@ func TestCompareReporting(t *testing.T) {
 	}})
 
 	var out bytes.Buffer
-	code, err := compare(&out, oldP, newP, 1.15, 10.0)
+	code, err := compare(&out, oldP, newP, 1.15, 10.0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestCompareReporting(t *testing.T) {
 	// Geomean over {1.0, 1.5} is ~1.22; a 1.2 failure threshold must trip
 	// the nonzero exit.
 	out.Reset()
-	code, err = compare(&out, oldP, newP, 1.05, 1.2)
+	code, err = compare(&out, oldP, newP, 1.05, 1.2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,5 +103,44 @@ func TestCompareReporting(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "::error::") {
 		t.Errorf("failure path did not annotate:\n%s", out.String())
+	}
+}
+
+// TestCompareStrictMissing pins the -strict contract: a missing baseline
+// benchmark escalates from ::warning:: to ::error:: and flips the exit
+// code, while a strict compare with full coverage stays green.
+func TestCompareStrictMissing(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeFile(t, dir, "old.json", File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFlat", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 1000},
+	}})
+	newP := writeFile(t, dir, "new.json", File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFlat", NsPerOp: 1000},
+	}})
+
+	var out bytes.Buffer
+	code, err := compare(&out, oldP, newP, 1.15, 10.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 for missing baseline under -strict", code)
+	}
+	if !strings.Contains(out.String(), "::error::1 baseline benchmark(s) missing") {
+		t.Errorf("strict missing baseline not escalated to ::error:::\n%s", out.String())
+	}
+
+	fullP := writeFile(t, dir, "full.json", File{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFlat", NsPerOp: 1000},
+		{Name: "BenchmarkGone", NsPerOp: 1010},
+	}})
+	out.Reset()
+	code, err = compare(&out, oldP, fullP, 1.15, 10.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 for strict compare with full coverage:\n%s", code, out.String())
 	}
 }

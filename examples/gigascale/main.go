@@ -5,26 +5,33 @@
 // stream over the 64-million-line tag array, warmed functionally and
 // measured in SMARTS-style detailed windows.
 //
-// It runs the same sampled simulation twice — once sequentially
-// (SampleWorkers=1) and once with a worker pool that executes the
-// detailed windows concurrently off the functional spine — and reports
-// the wall-clock for each plus the parallel run's spine/worker time
-// split. The two runs produce byte-identical results by construction;
-// the example checks that too.
+// It runs the same sampled simulation four times: sequentially
+// (SampleWorkers=1), with a worker pool that executes the detailed
+// windows concurrently off the functional spine, then twice more
+// against a spine checkpoint lattice — a populating run that saves
+// every boundary snapshot in the background (its wall-clock against
+// the plain parallel run is the population overhead) and a resumed run
+// that restores those snapshots instead of fast-forwarding (its
+// wall-clock against the populating run is the memoization payoff).
+// All four produce byte-identical results by construction; the example
+// checks that too.
 //
 // Expect roughly a gigabyte of resident memory (per live fork). The
 // windows are fixed (adaptive sizing is disabled) so the instruction
 // budget is exactly what is configured. Pass -quick for a scaled-down
-// smoke run, -workers to size the pool.
+// smoke run, -workers to size the pool, -spine-dir to keep the lattice
+// across invocations (so a second invocation starts fully warm).
 //
 //	go run ./examples/gigascale
 //	go run ./examples/gigascale -workers 8
 //	go run ./examples/gigascale -quick
+//	go run ./examples/gigascale -spine-dir /tmp/accord-spine
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"reflect"
 	"runtime"
 	"time"
@@ -35,6 +42,7 @@ import (
 func main() {
 	workers := flag.Int("workers", 8, "detailed-window worker goroutines for the parallel run")
 	quick := flag.Bool("quick", false, "scaled-down smoke run (seconds instead of minutes)")
+	spineDir := flag.String("spine-dir", "", "spine checkpoint lattice directory (empty = a temp directory deleted on exit)")
 	flag.Parse()
 
 	cfg := accord.ACCORD(2)
@@ -91,9 +99,10 @@ func main() {
 		float64(cfg.Sampling.Period)/1e6, float64(cfg.Sampling.DetailLen)/1e6,
 		float64(cfg.Sampling.WarmLen)/1e6)
 
-	run := func(workers int) (accord.Result, accord.SampleWork, time.Duration) {
+	run := func(workers int, spine string) (accord.Result, accord.SampleWork, time.Duration) {
 		c := cfg
 		c.SampleWorkers = workers
+		c.SpineCheckpointDir = spine
 		s := accord.NewSystem(c, wl)
 		start := time.Now()
 		res := s.Run("mcf")
@@ -101,12 +110,12 @@ func main() {
 	}
 
 	fmt.Printf("sequential run (1 worker)...\n")
-	seqRes, _, seqT := run(1)
+	seqRes, _, seqT := run(1, "")
 	fmt.Printf("  %.1fs wall (%.1f M instr/s)\n",
 		seqT.Seconds(), float64(seqRes.InstructionsTotal)/seqT.Seconds()/1e6)
 
 	fmt.Printf("parallel run (%d workers)...\n", *workers)
-	parRes, parWork, parT := run(*workers)
+	parRes, parWork, parT := run(*workers, "")
 	fmt.Printf("  %.1fs wall (%.1f M instr/s) — %.2fx over sequential\n",
 		parT.Seconds(), float64(parRes.InstructionsTotal)/parT.Seconds()/1e6,
 		seqT.Seconds()/parT.Seconds())
@@ -126,6 +135,39 @@ func main() {
 		fmt.Println("  ERROR: parallel result diverged from sequential")
 	} else {
 		fmt.Println("  results identical to sequential: yes")
+	}
+
+	// Third leg: memoize the functional spine through the checkpoint
+	// lattice. The populating run pays the snapshot saves (on a
+	// background writer, so the overhead should be a few percent); the
+	// resumed run replaces every fast-forward with a restore, so its
+	// wall-clock approaches max(restore, detail/W) — the spine drops out.
+	dir := *spineDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "accord-spine")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fmt.Printf("lattice-populating run (%d workers, spine checkpoints to %s)...\n", *workers, dir)
+	popRes, popWork, popT := run(*workers, dir)
+	fmt.Printf("  %.1fs wall — %.1f%% over the plain parallel run (%d boundaries saved in %.1fs of background writes)\n",
+		popT.Seconds(), 100*(popT.Seconds()-parT.Seconds())/parT.Seconds(),
+		popWork.LatticeMisses, popWork.SpineSaveTime.Seconds())
+
+	fmt.Printf("lattice-resumed run (%d workers)...\n", *workers)
+	resRes, resWork, resT := run(*workers, dir)
+	fmt.Printf("  %.1fs wall — %.2fx over the populating run, %.2fx over sequential\n",
+		resT.Seconds(), popT.Seconds()/resT.Seconds(), seqT.Seconds()/resT.Seconds())
+	fmt.Printf("  lattice: %d hits, %d misses; spine %.1fs (was %.1fs cold)\n",
+		resWork.LatticeHits, resWork.LatticeMisses,
+		resWork.SpineTime.Seconds(), popWork.SpineTime.Seconds())
+	if !reflect.DeepEqual(parRes, popRes) || !reflect.DeepEqual(parRes, resRes) {
+		fmt.Println("  ERROR: lattice run results diverged from the plain runs")
+	} else {
+		fmt.Println("  results identical to plain runs: yes")
 	}
 
 	var mem runtime.MemStats

@@ -92,6 +92,21 @@ type Params struct {
 	// deliberately excluded from the memo key: a session warmed at one
 	// worker count serves another without recomputation.
 	SampleWorkers int
+
+	// SpineCheckpointDir, when non-empty, memoizes every sampled run's
+	// functional spine through the on-disk checkpoint lattice (see
+	// sim.Config.SpineCheckpointDir): one lattice directory is shared by
+	// every design point in the sweep (entries are content-addressed by
+	// fingerprint), so repeat points — across sessions, or sweeps varying
+	// only measurement knobs — skip the fast-forward entirely. Like
+	// SampleWorkers it cannot affect results and is excluded from the
+	// memo key. Ignored when Sampling is disabled.
+	SpineCheckpointDir string
+
+	// SpineStride sets sim.Config.SpineStride for sampled runs: how many
+	// interval boundaries apart lattice saves land (0 = automatic from
+	// snapshot size).
+	SpineStride int
 }
 
 // parallelism returns the effective worker count.
@@ -217,6 +232,11 @@ type Session struct {
 	// planning, when non-nil, turns Run into a recorder: design points
 	// are collected and zero results returned without simulating.
 	planning *planRecorder
+
+	// workMu guards work, the sampled-run execution split accumulated
+	// across every simulation the session ran (not memo hits).
+	workMu sync.Mutex
+	work   sim.SampleWork
 }
 
 // NewSession creates a session for the given parameters.
@@ -270,6 +290,8 @@ func (s *Session) apply(cfg sim.Config) sim.Config {
 		// SamplingConfig.validate for why these are rejected).
 		cfg.Sampling = s.p.Sampling
 		cfg.SampleWorkers = s.p.SampleWorkers
+		cfg.SpineCheckpointDir = s.p.SpineCheckpointDir
+		cfg.SpineStride = s.p.SpineStride
 		cfg.DisableAdaptiveBudgets = true
 		cfg.EpochInstr = 0
 	}
@@ -306,15 +328,46 @@ func (s *Session) run(worker int, cfg sim.Config, workload string) sim.Result {
 	if s.traces != nil && wl.Streams == nil && wl.Source == nil {
 		wl.Source = s.traces.Source(wl.Specs, cfg.AnchorLines(), cfg.Seed)
 	}
-	var restored bool
+	var info sim.RunInfo
 	// The pprof labels make -cpuprofile output attributable per design
 	// point: `go tool pprof -tags` breaks time down by config and
 	// workload, and label filters (-tagfocus) isolate one of either.
 	pprof.Do(context.Background(), pprof.Labels("config", cfg.Name, "workload", workload), func(context.Context) {
-		e.res, restored = sim.RunWithStore(cfg, wl, s.store, workload)
+		e.res, info = sim.RunWithStoreInfo(cfg, wl, s.store, workload)
 	})
-	s.progress(worker, cfg.Name, workload, e.res, restored, time.Since(start))
+	s.addWork(info.Work)
+	s.progress(worker, cfg.Name, workload, e.res, info.Restored, time.Since(start))
 	return e.res
+}
+
+// addWork folds one sampled run's execution split into the session totals.
+func (s *Session) addWork(w sim.SampleWork) {
+	if w.Workers == 0 {
+		return // exact run: no sampled-work split to report
+	}
+	s.workMu.Lock()
+	defer s.workMu.Unlock()
+	if w.Workers > s.work.Workers {
+		s.work.Workers = w.Workers
+	}
+	s.work.Dispatched += w.Dispatched
+	s.work.Committed += w.Committed
+	s.work.Discarded += w.Discarded
+	s.work.SpineTime += w.SpineTime
+	s.work.DetailTime += w.DetailTime
+	s.work.WallTime += w.WallTime
+	s.work.SpineSaveTime += w.SpineSaveTime
+	s.work.LatticeHits += w.LatticeHits
+	s.work.LatticeMisses += w.LatticeMisses
+}
+
+// SampleWorkTotals reports the sampled-run execution split summed over
+// every simulation the session actually ran (Workers is the maximum
+// resolved worker count; zero value when no sampled run completed).
+func (s *Session) SampleWorkTotals() sim.SampleWork {
+	s.workMu.Lock()
+	defer s.workMu.Unlock()
+	return s.work
 }
 
 // progress emits one serialized line per completed simulation. The verb

@@ -209,6 +209,13 @@ type Manifest struct {
 	StartedAt   string      `json:"started_at"`
 	WallSeconds float64     `json:"wall_seconds"`
 
+	// SampleWork carries the sampled-run execution split (worker counts,
+	// speculation, spine/detail/lattice accounting) when the invocation
+	// ran interval sampling; see sim.SampleWork.ManifestEntry. It is
+	// diagnostic — wall-clock shaped, never result-affecting — which is
+	// why it lives in the manifest and not in the metric values.
+	SampleWork interface{} `json:"sample_work,omitempty"`
+
 	start time.Time
 }
 

@@ -266,6 +266,18 @@ func (s *System) RestoreFunctional(blob []byte, wlName string) error {
 	return nil
 }
 
+// RunInfo reports how RunWithStoreInfo executed a run: whether a
+// warm-state checkpoint skipped warmup, and — for sampled runs — the
+// execution split including spine-lattice hit/miss accounting.
+type RunInfo struct {
+	// Restored is true when a warm-state checkpoint was restored and
+	// warmup skipped (exact runs only; sampled runs memoize through the
+	// spine lattice instead, reported in Work).
+	Restored bool
+	// Work is the sampled-run execution split (zero value for exact runs).
+	Work SampleWork
+}
+
 // RunWithStore runs cfg on wl, consulting store (which may be nil) for a
 // warm-state checkpoint: a hit restores the boundary state and skips
 // warmup entirely; a miss warms up cold and saves the state for the next
@@ -273,22 +285,33 @@ func (s *System) RestoreFunctional(blob []byte, wlName string) error {
 // without snapshot support — silently degrades to a cold run on a fresh
 // system. The restored flag reports whether warmup was skipped.
 func RunWithStore(cfg Config, wl workloads.Workload, store *ckpt.Store, wlName string) (res Result, restored bool) {
+	res, info := RunWithStoreInfo(cfg, wl, store, wlName)
+	return res, info.Restored
+}
+
+// RunWithStoreInfo is RunWithStore with execution diagnostics.
+func RunWithStoreInfo(cfg Config, wl workloads.Workload, store *ckpt.Store, wlName string) (res Result, info RunInfo) {
 	s := New(cfg, wl)
-	if store == nil {
-		return s.Run(wlName), false
-	}
 	if cfg.Sampling.Enabled() {
 		// Sampled runs warm functionally and never sit at the single
-		// detailed warmup/measure boundary a checkpoint captures; their
-		// warmup is cheap by design, so they neither consume nor populate
-		// the store. WarmFingerprint deliberately excludes Sampling, so a
-		// detailed run of the same config still shares its key.
-		return s.Run(wlName), false
+		// detailed warmup/measure boundary a checkpoint captures, so they
+		// neither consume nor populate the warm-state store — their
+		// memoization path is the spine checkpoint lattice
+		// (Config.SpineCheckpointDir), which subsumes warmup skipping.
+		// WarmFingerprint deliberately excludes Sampling, so a detailed
+		// run of the same config still shares its warm-state key.
+		res = s.Run(wlName)
+		info.Work = s.SampleWork()
+		return res, info
+	}
+	if store == nil {
+		return s.Run(wlName), info
 	}
 	key := s.WarmKey(wlName)
 	if blob, ok, err := store.Load(key); err == nil && ok {
 		if err := s.Restore(blob, wlName); err == nil {
-			return s.RunMeasure(wlName), true
+			info.Restored = true
+			return s.RunMeasure(wlName), info
 		}
 		// A failed restore leaves component state unspecified; rebuild
 		// and fall through to the cold path.
@@ -299,7 +322,7 @@ func RunWithStore(cfg Config, wl workloads.Workload, store *ckpt.Store, wlName s
 		// Best-effort: a full disk or read-only store must not fail the run.
 		_ = store.Save(key, blob)
 	}
-	return s.RunMeasure(wlName), false
+	return s.RunMeasure(wlName), info
 }
 
 // Cores exposes the assembled cores for tests.

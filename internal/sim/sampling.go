@@ -673,14 +673,19 @@ func (s *System) sampleForkable(wlName string) bool {
 // functional spine onto a worker pool (sampling_parallel.go). The two
 // produce identical Results — same observation sequence, same summary,
 // same final registry snapshot — by construction; see DESIGN.md §12.
+//
+// Config.SpineCheckpointDir additionally memoizes the spine through the
+// checkpoint lattice (spine.go, DESIGN.md §14): boundary snapshots are
+// saved in the background and probed on later runs, so a warm re-run
+// replaces the functional fast-forward with restores. Warmup itself is
+// driven lazily by the drivers — a lattice hit at boundary 0 skips it
+// entirely, since warmup's effects are inside the restored snapshot.
 func (s *System) RunSampled(wlName string) Result {
 	sc := s.cfg.Sampling
 	if !sc.Enabled() {
 		panic("sim: RunSampled without Sampling.Period")
 	}
 	start := time.Now()
-
-	s.RunWarmupFunctional()
 
 	planned64 := s.cfg.MeasureInstr / sc.Period
 	if planned64 < 1 {
@@ -701,17 +706,30 @@ func (s *System) RunSampled(wlName string) Result {
 		workers = planned
 	}
 	forkable := false
-	if workers > 1 || len(s.cores) > 1 {
+	if workers > 1 || len(s.cores) > 1 || s.cfg.SpineCheckpointDir != "" {
 		forkable = s.sampleForkable(wlName)
 	}
 	if !forkable {
 		workers = 1
 	}
+	// The lattice requires snapshotability: boundary state must serialize
+	// to be saved and restore cleanly to be consumed. A non-forkable
+	// system silently runs without it, like it degrades to one worker.
+	var lat *spineLattice
+	if forkable {
+		lat = s.openSpineLattice(wlName)
+	}
 	s.work = SampleWork{Workers: workers}
 	if workers <= 1 {
-		s.runSampledSequential(st, forkable)
+		s.runSampledSequential(st, forkable, lat)
 	} else {
-		s.runSampledParallel(st, workers)
+		s.runSampledParallel(st, workers, lat)
+	}
+	if lat != nil {
+		lat.close()
+		s.work.SpineSaveTime = time.Duration(lat.saveNS)
+		s.work.LatticeHits = lat.hits
+		s.work.LatticeMisses = lat.misses
 	}
 	s.work.Committed = st.intervals
 	s.work.Discarded = s.work.Dispatched - st.intervals
@@ -736,29 +754,75 @@ func (s *System) RunSampled(wlName string) Result {
 //     trajectory the parallel spine takes, which is what makes
 //     SampleWorkers=1 and SampleWorkers=N byte-identical even though
 //     multi-core functional and detailed interleavings differ.
-func (s *System) runSampledSequential(st *sampleState, forkable bool) {
+//
+// With a lattice, each boundary is probed before it is computed: a hit
+// restores the stored snapshot straight into the live system, replacing
+// the functional warmup/advance that would have produced it (the blob
+// carries the identical bytes — that is the lattice's key contract).
+// Warmup runs lazily on the first miss, so a hit at boundary 0 skips it.
+//
+// Fork mode re-establishes each boundary lazily (the stale protocol the
+// parallel spine also uses): after an interval's detailed legs move the
+// live system, nothing is restored until the next boundary actually
+// needs it — a miss restores the previous boundary's blob and advances,
+// while a hit restores its own blob directly. Consecutive hits thus
+// cost one restore each instead of a restore-back plus a restore-
+// forward, without changing the state each interval measures from.
+func (s *System) runSampledSequential(st *sampleState, forkable bool, lat *spineLattice) {
 	sc := st.sc
 	funcLen := sc.Period - sc.WarmLen - sc.DetailLen
 	n := len(s.cores)
 	inPlace := n == 1 || !forkable
 
 	next := make([]int64, n)
-	for i, c := range s.cores {
-		next[i] = c.Instructions() + funcLen
-	}
+	warmed := false
+	stale := false // fork mode: live system has moved past lastBlob's boundary
+	var lastBlob []byte
 	for k := 0; ; k++ {
 		t0 := time.Now()
-		if k > 0 || funcLen > 0 {
-			s.advanceFunctional(next)
-		}
-		s.resetIntervalState()
 		var blob []byte
-		if !inPlace {
-			b, err := s.FunctionalSnapshot(st.wlName)
-			if err != nil {
-				panic(fmt.Sprintf("sim: interval snapshot failed after passing the forkability trial: %v", err))
+		if p, ok := lat.probe(k); ok {
+			// RestoreFunctional ends with resetIntervalState, so the live
+			// system lands in exactly the canonical boundary state the miss
+			// path constructs.
+			if err := s.RestoreFunctional(p, st.wlName); err != nil {
+				panic(fmt.Sprintf("sim: lattice restore failed after probe validation: %v", err))
 			}
-			blob = b
+			warmed, stale = true, false
+			if !inPlace {
+				blob, lastBlob = p, p
+			}
+		} else {
+			if !warmed {
+				s.RunWarmupFunctional()
+				for i, c := range s.cores {
+					next[i] = c.Instructions() + funcLen
+				}
+				warmed = true
+			}
+			if stale {
+				if err := s.RestoreFunctional(lastBlob, st.wlName); err != nil {
+					panic(fmt.Sprintf("sim: boundary restore failed: %v", err))
+				}
+				for i, c := range s.cores {
+					next[i] = c.Instructions() + sc.Period
+				}
+				stale = false
+			}
+			if k > 0 || funcLen > 0 {
+				s.advanceFunctional(next)
+			}
+			s.resetIntervalState()
+			if !inPlace || lat.wantSave(k) {
+				b, err := s.FunctionalSnapshot(st.wlName)
+				if err != nil {
+					panic(fmt.Sprintf("sim: interval snapshot failed after passing the forkability trial: %v", err))
+				}
+				lat.saveAsync(k, b)
+				if !inPlace {
+					blob, lastBlob = b, b
+				}
+			}
 		}
 		// The next boundary is an absolute target captured NOW, before the
 		// detailed legs move the cores: B + Period.
@@ -776,13 +840,7 @@ func (s *System) runSampledSequential(st *sampleState, forkable bool) {
 		if st.commit(r) {
 			return
 		}
-		if !inPlace {
-			t2 := time.Now()
-			if err := s.RestoreFunctional(blob, st.wlName); err != nil {
-				panic(fmt.Sprintf("sim: boundary restore failed: %v", err))
-			}
-			s.work.SpineTime += time.Since(t2)
-		}
+		stale = !inPlace
 	}
 }
 

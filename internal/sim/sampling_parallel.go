@@ -48,13 +48,40 @@ type SampleWork struct {
 	Dispatched int
 	Committed  int
 	Discarded  int
-	// SpineTime is time spent advancing the live system functionally and
-	// snapshotting/restoring boundaries; DetailTime is the total detailed
-	// simulation time across all workers (it can exceed WallTime when
-	// workers overlap); WallTime covers all of RunSampled.
+	// SpineTime is time spent on the spine: functional warmup and
+	// advances, boundary snapshot/restore, and lattice probes. DetailTime
+	// is the total detailed simulation time across all workers (it can
+	// exceed WallTime when workers overlap); WallTime covers all of
+	// RunSampled.
 	SpineTime  time.Duration
 	DetailTime time.Duration
 	WallTime   time.Duration
+	// SpineSaveTime is wall-clock the background writer spent persisting
+	// boundary snapshots into the spine checkpoint lattice; it overlaps
+	// worker execution, so it is cost only when the disk is the
+	// bottleneck. LatticeHits and LatticeMisses count boundary probes
+	// (zero when no lattice is configured): a fully warm run reports
+	// Hits == Dispatched, a cold run Misses == Dispatched.
+	SpineSaveTime time.Duration
+	LatticeHits   int
+	LatticeMisses int
+}
+
+// ManifestEntry renders the split as a flat map for run manifests.
+// Durations are nanoseconds, matching time.Duration's integer form.
+func (w SampleWork) ManifestEntry() map[string]int64 {
+	return map[string]int64{
+		"workers":        int64(w.Workers),
+		"dispatched":     int64(w.Dispatched),
+		"committed":      int64(w.Committed),
+		"discarded":      int64(w.Discarded),
+		"spine_ns":       int64(w.SpineTime),
+		"detail_ns":      int64(w.DetailTime),
+		"wall_ns":        int64(w.WallTime),
+		"spine_save_ns":  int64(w.SpineSaveTime),
+		"lattice_hits":   int64(w.LatticeHits),
+		"lattice_misses": int64(w.LatticeMisses),
+	}
 }
 
 // SampleWork returns the execution split of the last sampled run (zero
@@ -69,7 +96,16 @@ type sampleJob struct {
 
 // runSampledParallel drives intervals on a worker pool fed by a
 // functional spine. The caller's goroutine is the committer.
-func (s *System) runSampledParallel(st *sampleState, workers int) {
+//
+// With a lattice, the spine probes each boundary before computing it. A
+// hit dispatches the stored blob without touching the live system, which
+// goes "stale" — it still holds an earlier boundary's state. The next
+// miss repairs that by restoring the most recent blob (probed or
+// computed) before advancing, so the functional trajectory between
+// boundaries is identical to a cold spine's. Warmup runs lazily on the
+// first miss; a fully warm run never warms up, never advances, and the
+// spine degenerates to lattice lookups.
+func (s *System) runSampledParallel(st *sampleState, workers int, lat *spineLattice) {
 	sc := st.sc
 	funcLen := sc.Period - sc.WarmLen - sc.DetailLen
 	n := len(s.cores)
@@ -94,9 +130,12 @@ func (s *System) runSampledParallel(st *sampleState, workers int) {
 		defer close(jobs)
 		defer close(spineDone)
 		next := make([]int64, n)
-		for i, c := range s.cores {
-			next[i] = c.Instructions() + funcLen
-		}
+		warmed := false
+		// stale marks the live system as behind lastBlob's boundary: a
+		// lattice hit dispatches without advancing. lastBlob always holds
+		// the latest boundary's snapshot, wherever it came from.
+		stale := false
+		var lastBlob []byte
 		for k := 0; k < st.planned; k++ {
 			select {
 			case <-stop:
@@ -104,18 +143,46 @@ func (s *System) runSampledParallel(st *sampleState, workers int) {
 			default:
 			}
 			t0 := time.Now()
-			if k > 0 || funcLen > 0 {
-				s.advanceFunctional(next)
-			}
-			s.resetIntervalState()
-			blob, err := s.FunctionalSnapshot(st.wlName)
-			if err != nil {
-				panic(fmt.Sprintf("sim: interval snapshot failed after passing the forkability trial: %v", err))
-			}
-			// The next boundary is an absolute target captured at this one:
-			// B + Period, independent of any detailed leg's overshoot.
-			for i, c := range s.cores {
-				next[i] = c.Instructions() + sc.Period
+			var blob []byte
+			if p, ok := lat.probe(k); ok {
+				blob = p
+				lastBlob = p
+				warmed, stale = true, true
+			} else {
+				if !warmed {
+					s.RunWarmupFunctional()
+					for i, c := range s.cores {
+						next[i] = c.Instructions() + funcLen
+					}
+					warmed = true
+				}
+				if stale {
+					// Catch the live system up to boundary k-1 before walking
+					// to k, reproducing the cold spine's trajectory exactly.
+					if err := s.RestoreFunctional(lastBlob, st.wlName); err != nil {
+						panic(fmt.Sprintf("sim: spine catch-up restore failed: %v", err))
+					}
+					for i, c := range s.cores {
+						next[i] = c.Instructions() + sc.Period
+					}
+					stale = false
+				}
+				if k > 0 || funcLen > 0 {
+					s.advanceFunctional(next)
+				}
+				s.resetIntervalState()
+				b, err := s.FunctionalSnapshot(st.wlName)
+				if err != nil {
+					panic(fmt.Sprintf("sim: interval snapshot failed after passing the forkability trial: %v", err))
+				}
+				blob = b
+				lastBlob = b
+				lat.saveAsync(k, b)
+				// The next boundary is an absolute target captured at this one:
+				// B + Period, independent of any detailed leg's overshoot.
+				for i, c := range s.cores {
+					next[i] = c.Instructions() + sc.Period
+				}
 			}
 			spineNS += int64(time.Since(t0))
 			select {

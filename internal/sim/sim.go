@@ -116,6 +116,21 @@ type Config struct {
 	// fingerprints. Ignored for exact (non-sampled) runs.
 	SampleWorkers int
 
+	// SpineCheckpointDir, when non-empty, memoizes the sampled run's
+	// functional spine through an on-disk checkpoint lattice (DESIGN.md
+	// §14): boundary snapshots are persisted in the background on a cold
+	// run and restored instead of re-simulated on later runs with the
+	// same warm fingerprint and interval geometry. Like SampleWorkers it
+	// is pure execution strategy — results are byte-identical with the
+	// lattice on, off, cold, or warm — so it is excluded from memo keys
+	// and warm fingerprints. Ignored for exact (non-sampled) runs.
+	SpineCheckpointDir string
+	// SpineStride saves every SpineStride-th interval boundary into the
+	// lattice. Zero (the default) sizes the stride automatically from the
+	// first snapshot's size so roughly one ~128 KiB granule is written
+	// per period whatever the blob size; 1 saves every boundary.
+	SpineStride int
+
 	Seed int64
 }
 
@@ -176,6 +191,8 @@ func (c Config) Validate() error {
 		return errors.New("sim: instruction budgets invalid")
 	case c.SampleWorkers < 0:
 		return fmt.Errorf("sim: SampleWorkers %d must be >= 0 (0 = GOMAXPROCS)", c.SampleWorkers)
+	case c.SpineStride < 0:
+		return fmt.Errorf("sim: SpineStride %d must be >= 0 (0 = auto)", c.SpineStride)
 	}
 	return c.Sampling.validate(c)
 }

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"accord/internal/ckpt"
+)
+
+// Spine checkpoint lattice (DESIGN.md §14): RunSampled memoizes the
+// functional fast-forward by persisting the spine's boundary snapshots
+// into a ckpt.Lattice and probing it on later runs. A hit replaces the
+// functional advance to that boundary with a restore; a fully-populated
+// lattice reduces the spine to lattice lookups, so a warm re-run is
+// bounded by the detailed windows on the worker pool instead of the
+// sequential spine (§12.3's Amdahl term).
+//
+// The lattice is keyed by SpineFingerprint — warm-fingerprint fields
+// plus the interval geometry — so it is shared by every run that walks
+// the same functional trajectory and unreachable by any run that does
+// not: measurement-only knobs (MeasureInstr, TargetCI, SampleWorkers,
+// the engine toggle) are deliberately excluded, while a geometry change
+// moves every key (a stale lattice misses; it can never restore wrong
+// state). Saves run on a background writer goroutine overlapped with
+// worker execution, so populating the lattice costs a cold run almost
+// no wall-clock.
+
+// spineLatticeVersion versions the spine keying protocol itself (what
+// the fingerprint covers, how offsets are computed). Bump it alongside
+// incompatible driver changes; SnapshotSchema already covers payload
+// encoding changes through WarmFingerprint.
+const spineLatticeVersion = 1
+
+// spineSaveGranule is the disk granule automatic stride sizing targets:
+// with SpineStride 0, the stride is chosen so roughly one granule of
+// snapshot bytes is saved per period, keeping lattice cost ~100 KB-
+// granular whether boundaries serialize to 10 KB or 10 MB.
+const spineSaveGranule = 128 << 10
+
+// SpineFingerprint extends WarmFingerprint with everything else that
+// determines the functional state at interval boundary k: the interval
+// geometry (Period/WarmLen/DetailLen fix both the boundary positions
+// and the multi-core advance-target sequence), the functional
+// interleaving quantum, and the spine protocol version. Measurement
+// knobs stay excluded so one lattice serves any MeasureInstr, TargetCI,
+// SampleWorkers, or engine setting.
+func (s *System) SpineFingerprint(wlName string) string {
+	sc := s.cfg.Sampling
+	return fmt.Sprintf("%s|spine=v%d|period=%d|warmlen=%d|detaillen=%d|quantum=%d",
+		s.WarmFingerprint(wlName), spineLatticeVersion,
+		sc.Period, sc.WarmLen, sc.DetailLen, funcRoundQuantum)
+}
+
+// SpineKey returns the content-addressed store key of interval boundary
+// k's snapshot — SHA-256 over the spine fingerprint, the interval
+// number, and the boundary's nominal instruction offset.
+func (s *System) SpineKey(wlName string, interval int) string {
+	return ckpt.LatticeEntryKey(s.SpineFingerprint(wlName), interval, s.spineOffset(interval))
+}
+
+// spineOffset is boundary k's nominal per-core instruction offset:
+// warmup, then the first functional leg, then k full periods. Actual
+// core positions may overshoot each target by a fraction of an event's
+// instruction gap; the offset is keying material (a pure function of
+// the geometry), and the exact positions live inside the snapshot.
+func (s *System) spineOffset(interval int) int64 {
+	sc := s.cfg.Sampling
+	warm := s.adaptiveBudget(warmFactor, s.cfg.WarmupInstr)
+	return warm + (sc.Period - sc.WarmLen - sc.DetailLen) + int64(interval)*sc.Period
+}
+
+// validFunctionalSnapshot reports whether blob carries a well-framed
+// functional snapshot for fingerprint fp: CRC frame, magic, schema, and
+// the embedded fingerprint. This is the probe-side gate that makes the
+// lattice restore paths safe to run against live systems: every
+// adversarial failure mode (truncation, corruption, stale schema, wrong
+// config) is rejected here and degrades to a cold miss. A blob that
+// passes was produced by FunctionalSnapshot on an identically
+// fingerprinted system — the fingerprint covers everything that shapes
+// the payload — so a subsequent restore failure is a forged-CRC
+// scenario and treated as a programming-error panic, exactly like the
+// post-forkability-trial snapshot panics.
+func validFunctionalSnapshot(blob []byte, fp string) bool {
+	d, err := ckpt.NewDecoderChecked(blob)
+	if err != nil {
+		return false
+	}
+	if string(d.Raw(len(snapshotMagic))) != snapshotMagic {
+		return false
+	}
+	if d.U32() != SnapshotSchema {
+		return false
+	}
+	if d.String() != fp {
+		return false
+	}
+	return d.Err() == nil
+}
+
+// spineSaveReq is one boundary snapshot queued for the background writer.
+type spineSaveReq struct {
+	interval int
+	offset   int64
+	blob     []byte
+}
+
+// spineLattice is RunSampled's handle on the lattice: probe/save logic,
+// stride resolution, hit/miss accounting, and the background writer.
+// Probes and saves happen on the spine (one goroutine); only the writer
+// runs concurrently, and it exclusively owns the store I/O.
+type spineLattice struct {
+	lat    *ckpt.Lattice
+	warmFP string
+	// base and period reproduce spineOffset without touching the live
+	// system: base is boundary 0's nominal offset (warmup plus the first
+	// functional leg).
+	base   int64
+	period int64
+	// stride saves every stride-th boundary. Config.SpineStride > 0 is
+	// explicit; 0 resolves automatically from the first snapshot's size
+	// (ceil(len/spineSaveGranule)) so huge full-scale blobs thin out and
+	// small test blobs save densely.
+	stride int
+
+	hits   int
+	misses int
+
+	saves  chan spineSaveReq
+	done   chan struct{}
+	saveNS int64 // written by the writer; read after close()
+}
+
+// openSpineLattice opens the configured lattice for a sampled run, or
+// returns nil (lattice disabled) when no directory is configured or the
+// store cannot be opened — an unusable store degrades to a plain cold
+// run, never an error.
+func (s *System) openSpineLattice(wlName string) *spineLattice {
+	if s.cfg.SpineCheckpointDir == "" {
+		return nil
+	}
+	store, err := ckpt.Open(s.cfg.SpineCheckpointDir)
+	if err != nil {
+		return nil
+	}
+	sl := &spineLattice{
+		lat:    ckpt.NewLattice(store, s.SpineFingerprint(wlName)),
+		warmFP: s.WarmFingerprint(wlName),
+		base:   s.spineOffset(0),
+		period: s.cfg.Sampling.Period,
+		stride: s.cfg.SpineStride,
+		saves:  make(chan spineSaveReq, 4),
+		done:   make(chan struct{}),
+	}
+	go sl.writer()
+	return sl
+}
+
+// probe looks boundary k up, returning its validated snapshot on a hit.
+// Every store- or codec-level failure is a miss. A nil receiver (lattice
+// disabled) always misses without counting, so the drivers call it
+// unconditionally.
+func (sl *spineLattice) probe(interval int) ([]byte, bool) {
+	if sl == nil {
+		return nil, false
+	}
+	payload, ok := sl.lat.Probe(interval, sl.offsetOf(interval))
+	if ok && validFunctionalSnapshot(payload, sl.warmFP) {
+		sl.resolveStride(len(payload))
+		sl.hits++
+		return payload, true
+	}
+	sl.misses++
+	return nil, false
+}
+
+// wantSave reports whether boundary k should be persisted (false on a
+// nil receiver). Before the stride is resolved (auto mode, nothing
+// probed or saved yet — only possible at k = 0) every boundary
+// qualifies, since 0 mod anything is 0.
+func (sl *spineLattice) wantSave(interval int) bool {
+	if sl == nil {
+		return false
+	}
+	if sl.stride <= 0 {
+		return true
+	}
+	return interval%sl.stride == 0
+}
+
+// resolveStride fixes the automatic stride from the first observed
+// snapshot size.
+func (sl *spineLattice) resolveStride(blobLen int) {
+	if sl.stride > 0 {
+		return
+	}
+	sl.stride = (blobLen + spineSaveGranule - 1) / spineSaveGranule
+	if sl.stride < 1 {
+		sl.stride = 1
+	}
+}
+
+// saveAsync queues boundary k's snapshot for the background writer when
+// the stride selects it. The blob is immutable once serialized (workers
+// and the committer only read it), so the writer can share it. A full
+// queue blocks the spine briefly rather than dropping entries — the
+// queue depth bounds memory, and saves are far cheaper than the
+// periods that produce them.
+func (sl *spineLattice) saveAsync(interval int, blob []byte) {
+	if sl == nil {
+		return
+	}
+	sl.resolveStride(len(blob))
+	if interval%sl.stride != 0 {
+		return
+	}
+	sl.saves <- spineSaveReq{interval: interval, offset: sl.offsetOf(interval), blob: blob}
+}
+
+// offsetOf mirrors System.spineOffset using the captured geometry (the
+// writer must not touch the live system).
+func (sl *spineLattice) offsetOf(interval int) int64 {
+	return sl.base + int64(interval)*sl.period
+}
+
+// writer drains the save queue, persisting each boundary best-effort: a
+// full disk or read-only store loses memoization, never the run.
+// Entries go down individually (SaveEntry); the index digest chain is
+// written once after the queue closes, so a run saving N boundaries
+// pays N+1 store writes instead of 2N.
+func (sl *spineLattice) writer() {
+	defer close(sl.done)
+	saved := false
+	for req := range sl.saves {
+		t0 := time.Now()
+		if sl.lat.SaveEntry(req.interval, req.offset, req.blob) == nil {
+			saved = true
+		}
+		sl.saveNS += int64(time.Since(t0))
+	}
+	if saved {
+		t0 := time.Now()
+		_ = sl.lat.FlushIndex()
+		sl.saveNS += int64(time.Since(t0))
+	}
+}
+
+// close flushes and joins the background writer. The channel close
+// happens-before the writer's done signal, so reading saveNS afterwards
+// is race-free.
+func (sl *spineLattice) close() {
+	close(sl.saves)
+	<-sl.done
+}

@@ -1,0 +1,408 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"accord/internal/workloads"
+)
+
+// latticeCfg points cfg at a spine checkpoint lattice directory. Stride 1
+// pins dense saves so fully-warm re-runs are deterministic (the automatic
+// stride would also resolve to 1 at test blob sizes, but the tests should
+// not depend on that).
+func latticeCfg(cfg Config, dir string) Config {
+	cfg.SpineCheckpointDir = dir
+	cfg.SpineStride = 1
+	return cfg
+}
+
+// TestSpineLatticeResumedMatchesCold is the tentpole equivalence gate for
+// the checkpoint lattice: for every L4 organization, single- and
+// multi-core, with and without early stopping, a run that populates the
+// lattice and a run that resumes from it must both reproduce the plain
+// cold run exactly — same Result, same exported metrics JSON, and
+// byte-identical final functional state — across worker counts (a lattice
+// written at one worker count is read at another). Run under -race the
+// suite also proves the background writer shares no state it shouldn't.
+func TestSpineLatticeResumedMatchesCold(t *testing.T) {
+	const wlName = "libquantum"
+	for _, cores := range []int{1, 2} {
+		for _, earlyStop := range []bool{false, true} {
+			for _, cfg := range parallelCases(cores, earlyStop) {
+				cfg := cfg
+				name := fmt.Sprintf("%s-%dc-stop=%t", cfg.Name, cores, earlyStop)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					wl := traceWorkload(wlName, cfg)
+					dir := t.TempDir()
+
+					coldRes, coldJS, coldState, coldWork := runSampledWorkers(t, cfg, wl, wlName, 2)
+					if coldWork.LatticeHits != 0 || coldWork.LatticeMisses != 0 {
+						t.Fatalf("no-lattice run counted lattice traffic: %+v", coldWork)
+					}
+
+					popRes, popJS, popState, popWork := runSampledWorkers(t, latticeCfg(cfg, dir), wl, wlName, 2)
+					if !reflect.DeepEqual(coldRes, popRes) {
+						t.Errorf("populating run Result diverged from cold\ncold sampled: %+v\npop sampled: %+v",
+							coldRes.Sampled, popRes.Sampled)
+					}
+					if !bytes.Equal(coldJS, popJS) {
+						t.Errorf("populating run metrics JSON diverged from cold")
+					}
+					if !bytes.Equal(coldState, popState) {
+						t.Errorf("populating run final state diverged from cold (%d vs %d bytes)",
+							len(coldState), len(popState))
+					}
+					if popWork.LatticeHits != 0 {
+						t.Errorf("populating run hit an empty lattice: %+v", popWork)
+					}
+					if popWork.LatticeMisses == 0 {
+						t.Errorf("populating run probed nothing: %+v", popWork)
+					}
+
+					for _, workers := range []int{1, 2, 3} {
+						res, js, state, work := runSampledWorkers(t, latticeCfg(cfg, dir), wl, wlName, workers)
+						if !reflect.DeepEqual(coldRes, res) {
+							t.Errorf("workers=%d: resumed Result diverged from cold\ncold sampled: %+v\nwarm sampled: %+v",
+								workers, coldRes.Sampled, res.Sampled)
+						}
+						if !bytes.Equal(coldJS, js) {
+							t.Errorf("workers=%d: resumed metrics JSON diverged from cold", workers)
+						}
+						if !bytes.Equal(coldState, state) {
+							t.Errorf("workers=%d: resumed final state diverged from cold (%d vs %d bytes)",
+								workers, len(coldState), len(state))
+						}
+						if work.LatticeHits == 0 {
+							t.Errorf("workers=%d: resumed run never hit the lattice: %+v", workers, work)
+						}
+						// Without early stopping the boundary set is fixed, so a
+						// populated lattice must serve every probe. (Early-stopped
+						// resumed spines can race past the boundaries the slower
+						// populating spine reached before its stop — those probes
+						// miss and fall back cold, which the equality checks above
+						// prove is harmless.)
+						if !earlyStop && work.LatticeMisses != 0 {
+							t.Errorf("workers=%d: fully-populated lattice missed %d of %d probes",
+								workers, work.LatticeMisses, work.LatticeHits+work.LatticeMisses)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSpineLatticeMeasureKnobsExcluded pins the key-exclusion contract:
+// MeasureInstr (and the other measurement-only knobs) are not part of the
+// spine fingerprint, so a lattice populated by a long run serves a
+// shorter run over the same trajectory — the shorter run's boundaries are
+// a prefix of the longer run's.
+func TestSpineLatticeMeasureKnobsExcluded(t *testing.T) {
+	const wlName = "libquantum"
+	long := parallelCases(2, false)[1] // accord-2way, 6 planned intervals
+	short := long
+	short.MeasureInstr = 150_000 // 3 planned intervals, same geometry
+	wl := traceWorkload(wlName, long)
+	dir := t.TempDir()
+
+	runSampledWorkers(t, latticeCfg(long, dir), wl, wlName, 2)
+	coldRes, coldJS, coldState, _ := runSampledWorkers(t, short, wl, wlName, 2)
+	res, js, state, work := runSampledWorkers(t, latticeCfg(short, dir), wl, wlName, 2)
+	if work.LatticeHits != 3 || work.LatticeMisses != 0 {
+		t.Errorf("short resumed run hit %d / missed %d, want 3 prefix hits and 0 misses",
+			work.LatticeHits, work.LatticeMisses)
+	}
+	if !reflect.DeepEqual(coldRes, res) || !bytes.Equal(coldJS, js) || !bytes.Equal(coldState, state) {
+		t.Errorf("short run resumed from the long run's lattice diverged from its own cold run")
+	}
+}
+
+// TestSpineLatticeEngineExcluded proves the engine toggle is excluded
+// from the spine key: a lattice populated under the specialized engine is
+// fully warm under the generic engine, and the resumed generic run
+// matches a cold generic run exactly. Mutates the global engine toggle,
+// so no t.Parallel.
+func TestSpineLatticeEngineExcluded(t *testing.T) {
+	const wlName = "libquantum"
+	cfg := parallelCases(2, false)[5] // tdram-2way
+	wl := traceWorkload(wlName, cfg)
+	dir := t.TempDir()
+
+	runSampledWorkers(t, latticeCfg(cfg, dir), wl, wlName, 2)
+
+	UseGenericEngine(true)
+	defer UseGenericEngine(false)
+	coldRes, coldJS, coldState, _ := runSampledWorkers(t, cfg, wl, wlName, 2)
+	res, js, state, work := runSampledWorkers(t, latticeCfg(cfg, dir), wl, wlName, 2)
+	if work.LatticeHits == 0 || work.LatticeMisses != 0 {
+		t.Errorf("generic-engine resume of a specialized-engine lattice hit %d / missed %d, want all hits",
+			work.LatticeHits, work.LatticeMisses)
+	}
+	if !reflect.DeepEqual(coldRes, res) || !bytes.Equal(coldJS, js) || !bytes.Equal(coldState, state) {
+		t.Errorf("generic-engine resumed run diverged from generic-engine cold run")
+	}
+}
+
+// TestSpineLatticeStaleGeometry pins the stale-lattice contract: changing
+// the interval geometry moves every key, so a lattice populated under the
+// old geometry can only miss — the new-geometry run is correct and
+// entirely cold, never restored into the wrong trajectory.
+func TestSpineLatticeStaleGeometry(t *testing.T) {
+	const wlName = "libquantum"
+	oldCfg := parallelCases(2, false)[1]
+	newCfg := oldCfg
+	newCfg.Sampling.Period = 60_000 // 5 planned intervals at new boundaries
+	wl := traceWorkload(wlName, oldCfg)
+	dir := t.TempDir()
+
+	runSampledWorkers(t, latticeCfg(oldCfg, dir), wl, wlName, 2)
+	coldRes, coldJS, coldState, _ := runSampledWorkers(t, newCfg, wl, wlName, 2)
+	res, js, state, work := runSampledWorkers(t, latticeCfg(newCfg, dir), wl, wlName, 2)
+	if work.LatticeHits != 0 {
+		t.Errorf("stale lattice produced %d hits under a changed geometry, want 0", work.LatticeHits)
+	}
+	if work.LatticeMisses == 0 {
+		t.Errorf("stale-lattice run probed nothing")
+	}
+	if !reflect.DeepEqual(coldRes, res) || !bytes.Equal(coldJS, js) || !bytes.Equal(coldState, state) {
+		t.Errorf("run against a stale lattice diverged from its cold run")
+	}
+}
+
+// TestSpineLatticeCorruptionFallsBackCold damages every file of a
+// populated lattice store two ways — byte flips and truncation — and
+// requires the resumed run to fall back to a fully cold run with zero
+// hits and an unchanged result. Together with the codec-level sweeps in
+// internal/ckpt, this is the end-to-end adversarial gate: no store damage
+// may panic or change simulation output.
+func TestSpineLatticeCorruptionFallsBackCold(t *testing.T) {
+	const wlName = "libquantum"
+	cfg := parallelCases(2, false)[3] // banshee
+	wl := traceWorkload(wlName, cfg)
+	coldRes, coldJS, coldState, _ := runSampledWorkers(t, cfg, wl, wlName, 2)
+
+	corrupt := func(t *testing.T, damage func([]byte) []byte) {
+		dir := t.TempDir()
+		runSampledWorkers(t, latticeCfg(cfg, dir), wl, wlName, 2)
+		n := 0
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, damage(blob), 0o644); err != nil {
+				return err
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("corrupting store: %v", err)
+		}
+		if n == 0 {
+			t.Fatalf("populated lattice store holds no files")
+		}
+		res, js, state, work := runSampledWorkers(t, latticeCfg(cfg, dir), wl, wlName, 2)
+		if work.LatticeHits != 0 {
+			t.Errorf("corrupted lattice produced %d hits, want 0", work.LatticeHits)
+		}
+		if !reflect.DeepEqual(coldRes, res) || !bytes.Equal(coldJS, js) || !bytes.Equal(coldState, state) {
+			t.Errorf("run against a corrupted lattice diverged from the cold run")
+		}
+	}
+
+	t.Run("bitflip", func(t *testing.T) {
+		corrupt(t, func(b []byte) []byte {
+			if len(b) > 0 {
+				b[len(b)/2] ^= 0x40
+			}
+			return b
+		})
+	})
+	t.Run("truncated", func(t *testing.T) {
+		corrupt(t, func(b []byte) []byte { return b[:len(b)/2] })
+	})
+}
+
+// TestSpineLatticeStride pins the stride contract: SpineStride N saves
+// every Nth boundary, so a resumed run hits exactly those and recomputes
+// the rest — still byte-identical to cold. Covers both the in-place
+// single-core driver (snapshots exist only because the stride selects
+// them) and the forking multi-core driver.
+func TestSpineLatticeStride(t *testing.T) {
+	const wlName = "libquantum"
+	for _, cores := range []int{1, 2} {
+		cores := cores
+		t.Run(fmt.Sprintf("%dc", cores), func(t *testing.T) {
+			t.Parallel()
+			cfg := parallelCases(cores, false)[1] // accord-2way, 6 planned intervals
+			wl := traceWorkload(wlName, cfg)
+			coldRes, coldJS, coldState, _ := runSampledWorkers(t, cfg, wl, wlName, 1)
+
+			dir := t.TempDir()
+			strided := latticeCfg(cfg, dir)
+			strided.SpineStride = 2
+			runSampledWorkers(t, strided, wl, wlName, 1)
+			res, js, state, work := runSampledWorkers(t, strided, wl, wlName, 1)
+			if work.LatticeHits != 3 || work.LatticeMisses != 3 {
+				t.Errorf("stride-2 resume hit %d / missed %d over 6 boundaries, want 3/3",
+					work.LatticeHits, work.LatticeMisses)
+			}
+			if !reflect.DeepEqual(coldRes, res) || !bytes.Equal(coldJS, js) || !bytes.Equal(coldState, state) {
+				t.Errorf("stride-2 resumed run diverged from cold")
+			}
+		})
+	}
+}
+
+// TestSpineLatticeNonForkableDegrades pins the degradation path: a
+// system that cannot snapshot its workload (pre-built Streams override)
+// silently runs without the lattice — one worker, no lattice traffic, no
+// store files — instead of failing or saving unusable state.
+func TestSpineLatticeNonForkableDegrades(t *testing.T) {
+	cfg := parallelCases(1, false)[0]
+	gen := workloads.MustGet("libquantum", cfg.Cores)
+	streams := make([]workloads.Stream, len(gen.Specs))
+	for i, spec := range gen.Specs {
+		streams[i] = workloads.NewStream(spec, cfg.AnchorLines(), cfg.Cores, cfg.Seed)
+	}
+	fixed := gen
+	fixed.Streams = streams
+
+	dir := t.TempDir()
+	res, _, _, work := runSampledWorkers(t, latticeCfg(cfg, dir), fixed, "libquantum", 4)
+	if work.Workers != 1 {
+		t.Errorf("non-forkable lattice run resolved %d workers, want 1", work.Workers)
+	}
+	if work.LatticeHits != 0 || work.LatticeMisses != 0 {
+		t.Errorf("non-forkable run touched the lattice: %+v", work)
+	}
+	if res.Sampled == nil || res.Sampled.Intervals == 0 {
+		t.Errorf("degraded run produced no intervals")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("non-forkable run created %d store entries, want an untouched directory", len(entries))
+	}
+}
+
+// TestSpineKeyGeometry pins what SpineKey covers: measurement knobs move
+// nothing, geometry and warmup move everything.
+func TestSpineKeyGeometry(t *testing.T) {
+	base := parallelCases(2, false)[1]
+	wl := traceWorkload("libquantum", base)
+	key := func(cfg Config) string {
+		return New(cfg, wl).SpineKey("libquantum", 3)
+	}
+	ref := key(base)
+
+	same := base
+	same.MeasureInstr *= 2
+	same.Sampling.TargetCI = 0.25
+	same.SampleWorkers = 7
+	same.SpineCheckpointDir = "/elsewhere"
+	same.SpineStride = 4
+	if key(same) != ref {
+		t.Errorf("measurement-only knobs moved the spine key")
+	}
+
+	for name, mut := range map[string]func(*Config){
+		"period":  func(c *Config) { c.Sampling.Period += 10_000 },
+		"warmlen": func(c *Config) { c.Sampling.WarmLen += 1_000 },
+		"detail":  func(c *Config) { c.Sampling.DetailLen += 1_000 },
+		"warmup":  func(c *Config) { c.WarmupInstr += 10_000 },
+		"seed":    func(c *Config) { c.Seed++ },
+	} {
+		cfg := base
+		mut(&cfg)
+		if key(cfg) == ref {
+			t.Errorf("%s change did not move the spine key", name)
+		}
+	}
+}
+
+// BenchmarkSpineResume measures what the lattice buys on a sampled run
+// with the gigascale example's interval geometry (7.5% of each period
+// detailed, the regime SMARTS sampling targets), scaled down to bench
+// size. Four legs:
+//
+//   - cold: no lattice, the baseline.
+//   - populate: cold run saving boundaries at the automatic stride (the
+//     default configuration's population overhead; on a single-CPU host
+//     the background writer shares the core, so this is an upper bound).
+//   - populate-dense: cold run saving every boundary (stride 1), what a
+//     run that expects repeats pays.
+//   - resumed: fully-warm re-run off the dense lattice, where the spine
+//     degenerates to probe+restore.
+//
+// All legs produce byte-identical results
+// (TestSpineLatticeResumedMatchesCold), so cold/resumed is pure
+// execution speedup. The stream is recorded once off the clock.
+func BenchmarkSpineResume(b *testing.B) {
+	cfg := ACCORD(2)
+	cfg.Scale = 8192
+	cfg.Cores = 4
+	cfg.DisableAdaptiveBudgets = true
+	cfg.WarmupInstr = 100_000
+	cfg.MeasureInstr = 6_400_000
+	cfg.Seed = 1
+	cfg.Sampling = SamplingConfig{
+		Period:       800_000,
+		DetailLen:    40_000,
+		WarmLen:      20_000,
+		MinIntervals: 2,
+	}
+	cfg.SampleWorkers = 1
+	gen := workloads.MustGet("libquantum", cfg.Cores)
+	tc := workloads.NewTraceCache(1 << 30)
+	wl := gen
+	wl.Source = tc.Source(gen.Specs, cfg.AnchorLines(), cfg.Seed)
+
+	// Record the stream and populate the warm lattice once, off the clock.
+	warmDir := b.TempDir()
+	New(latticeCfg(cfg, warmDir), wl).Run("libquantum")
+
+	run := func(b *testing.B, cfg Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if res := New(cfg, wl).Run("libquantum"); res.Instructions == 0 {
+				b.Fatal("run retired no instructions")
+			}
+		}
+	}
+	populate := func(b *testing.B, stride int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "spine-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := latticeCfg(cfg, dir)
+			c.SpineStride = stride
+			b.StartTimer()
+			if res := New(c, wl).Run("libquantum"); res.Instructions == 0 {
+				b.Fatal("run retired no instructions")
+			}
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, cfg) })
+	b.Run("populate", func(b *testing.B) { populate(b, 0) })
+	b.Run("populate-dense", func(b *testing.B) { populate(b, 1) })
+	b.Run("resumed", func(b *testing.B) { run(b, latticeCfg(cfg, warmDir)) })
+}
